@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all test vet bench reproduce reproduce-full cover clean
+
+all: test vet
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
+
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x -run xxx .
+
+reproduce:
+	$(GO) run ./cmd/reproduce
+
+reproduce-full:
+	$(GO) run ./cmd/reproduce -full
+
+cover:
+	$(GO) test -cover ./internal/...
+
+clean:
+	$(GO) clean ./...

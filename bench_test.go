@@ -1,0 +1,291 @@
+package ssdtp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ssdtp/internal/experiments"
+	"ssdtp/internal/ftl"
+	"ssdtp/internal/sim"
+	"ssdtp/internal/ssd"
+	"ssdtp/internal/workload"
+)
+
+// One benchmark per paper artifact: each iteration regenerates the figure
+// at Quick scale and reports its headline number as a custom metric, so
+// `go test -bench .` doubles as a regression harness for the reproduction's
+// shapes.
+
+func BenchmarkFig1Aging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig1Aging(experiments.Quick, int64(i)+1)
+		lo, hi := res.RatioRange()
+		b.ReportMetric(lo, "ratio-min")
+		b.ReportMetric(hi, "ratio-max")
+	}
+}
+
+func BenchmarkFig2Compression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig2Compression(experiments.Quick, int64(i)+1)
+		b.ReportMetric(res.WorstOverOptimal("high"), "worst/optimal@high")
+	}
+}
+
+func BenchmarkFig3TailLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig3TailLatency(experiments.Quick, int64(i)+1)
+		b.ReportMetric(res.P99Spread(), "p99-spread")
+	}
+}
+
+func BenchmarkFig4aNandPageSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig4aNandPageSize(experiments.Quick, int64(i)+1)
+		b.ReportMetric(res.Converged()/1024, "KB-per-page")
+	}
+}
+
+func BenchmarkFig4bWAF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig4bWAF(experiments.Quick, int64(i)+1)
+		b.ReportMetric(res.Predicted, "predicted-WAF")
+		b.ReportMetric(res.Measured(), "measured-WAF")
+	}
+}
+
+func BenchmarkFig5SignalTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig5SignalTrace(experiments.Quick, int64(i)+1)
+		b.ReportMetric(float64(res.Events), "bus-events")
+	}
+}
+
+func BenchmarkFig6JTAG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig6JTAG(experiments.Quick, int64(i)+1)
+		ok := 0.0
+		if res.AllOK() {
+			ok = 1
+		}
+		b.ReportMetric(ok, "ground-truth-match")
+	}
+}
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+// steadyDevice builds a prefilled device (85% full plus an overwrite pass,
+// so garbage collection has both pressure and reclaimable space) with one
+// FTL mutation applied.
+func steadyDevice(mut func(*ssd.Config), seed int64) *ssd.Device {
+	cfg := ssd.MQSimBase()
+	cfg.FTL.Seed = seed
+	mut(&cfg)
+	dev := ssd.NewDevice(sim.NewEngine(), cfg)
+	fill := dev.Size() * 85 / 100 / 65536 * 65536
+	workload.Run(dev, workload.Spec{
+		Name: "prefill", Pattern: workload.Sequential, RequestBytes: 65536, Length: fill,
+	}, workload.Options{MaxRequests: fill / 65536})
+	workload.Run(dev, workload.Spec{
+		Name: "prefill2", Pattern: workload.Sequential, RequestBytes: 65536, Length: fill / 2,
+	}, workload.Options{MaxRequests: fill / 2 / 65536})
+	return dev
+}
+
+// BenchmarkAblationGCSampling sweeps the d-choices width of
+// randomized-greedy victim selection: wider sampling approaches greedy's
+// write amplification.
+func BenchmarkAblationGCSampling(b *testing.B) {
+	for _, d := range []int{1, 2, 4, 16} {
+		b.Run(string(rune('0'+d/10))+string(rune('0'+d%10)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dev := steadyDevice(func(c *ssd.Config) {
+					c.FTL.GC = ftl.GCRandGreedy
+					c.FTL.GCSample = d
+				}, int64(i)+1)
+				workload.Run(dev, workload.Spec{
+					Name: "churn", Pattern: workload.Uniform, RequestBytes: 16384,
+					QueueDepth: 8, Seed: int64(i),
+				}, workload.Options{Duration: 400 * sim.Millisecond})
+				c := dev.FTL().Counters()
+				if c.DataPagesProgrammed > 0 {
+					b.ReportMetric(float64(c.GCPagesProgrammed)/float64(c.DataPagesProgrammed), "gc-pages-per-data-page")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCacheSize sweeps the write cache: bigger caches absorb
+// more overwrites and shield tails.
+func BenchmarkAblationCacheSize(b *testing.B) {
+	for _, mb := range []int{1, 4, 16} {
+		b.Run(string(rune('0'+mb/10))+string(rune('0'+mb%10))+"MB", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dev := steadyDevice(func(c *ssd.Config) { c.FTL.CacheBytes = mb << 20 }, int64(i)+1)
+				res := workload.Run(dev, workload.Spec{
+					Name: "hot", Pattern: workload.Hotspot, RequestBytes: 4096,
+					Length: 8 << 20, QueueDepth: 4, Seed: int64(i),
+				}, workload.Options{Duration: 200 * sim.Millisecond})
+				hitRate := float64(dev.FTL().Counters().CacheHits) / float64(res.Requests)
+				b.ReportMetric(float64(res.Latency.Percentile(99))/1000, "p99-µs")
+				b.ReportMetric(hitRate, "cache-hit-rate")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRAINStripe sweeps parity width: the Figure 4a asymptote
+// moves with the data fraction of the stripe.
+func BenchmarkAblationRAINStripe(b *testing.B) {
+	for _, dp := range []int{7, 15, 31} {
+		b.Run(string(rune('0'+dp/10))+string(rune('0'+dp%10)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := ssd.MX500()
+				cfg.FTL.RAIN.DataPages = dp
+				cfg.FTL.Seed = int64(i)
+				dev := ssd.NewDevice(sim.NewEngine(), cfg)
+				spec := workload.Spec{Name: "seq", Pattern: workload.Sequential, RequestBytes: 1 << 20, SyncEvery: 1}
+				workload.Run(dev, spec, workload.Options{MaxRequests: 32})
+				ticks := dev.NANDPageTicks()
+				if ticks > 0 {
+					b.ReportMetric(float64(dev.HostBytesWritten())/float64(ticks)/1024, "KB-per-page")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAllocation sweeps all four supported allocation orders:
+// channel-first striping wins for small sequential writes.
+func BenchmarkAblationAllocation(b *testing.B) {
+	orders := []ftl.AllocOrder{ftl.AllocCWDP, ftl.AllocPDWC, ftl.AllocWDPC, ftl.AllocDPCW}
+	for _, ord := range orders {
+		b.Run(ord.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := ssd.MQSimBase()
+				cfg.FTL.Alloc = ord
+				cfg.FTL.Cache = ftl.CacheNone // expose raw program parallelism
+				cfg.FTL.Seed = int64(i)
+				dev := ssd.NewDevice(sim.NewEngine(), cfg)
+				res := workload.Run(dev, workload.Spec{
+					Name: "seq", Pattern: workload.Sequential, RequestBytes: 16384, QueueDepth: 4,
+				}, workload.Options{MaxRequests: 512})
+				b.ReportMetric(res.ThroughputMBps(), "MB/s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMapCache sweeps the mapping-cache size: a larger
+// metadata cache journals the translation map less often.
+func BenchmarkAblationMapCache(b *testing.B) {
+	for _, kb := range []int{64, 1024, 16384} {
+		b.Run(fmt.Sprintf("%dKB", kb), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dev := steadyDevice(func(c *ssd.Config) {
+					c.FTL.Cache = ftl.CacheMapping
+					c.FTL.CacheBytes = kb << 10
+				}, int64(i)+1)
+				workload.Run(dev, workload.Spec{
+					Name: "rand", Pattern: workload.Uniform, RequestBytes: 4096,
+					QueueDepth: 8, Seed: int64(i),
+				}, workload.Options{Duration: 400 * sim.Millisecond})
+				b.ReportMetric(float64(dev.FTL().Counters().MapPagesProgrammed), "map-pages")
+			}
+		})
+	}
+}
+
+func BenchmarkTabS2ProbeRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.TabS2ProbeRate(experiments.Quick, int64(i)+1)
+		b.ReportMetric(res.MinFullFidelityMHz(), "min-fidelity-MHz")
+	}
+}
+
+func BenchmarkTabS3OpenChannel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.TabS3OpenChannel(experiments.Quick, int64(i)+1)
+		b.ReportMetric(res.Improvement(), "p99-improvement")
+	}
+}
+
+func BenchmarkTabS4DesignSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.TabS4DesignSweep(experiments.Quick, int64(i)+1)
+		b.ReportMetric(res.MeanSpread(), "mean-spread")
+		b.ReportMetric(res.P99Spread(), "p99-spread")
+	}
+}
+
+func BenchmarkTabS5Endurance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.TabS5Endurance(experiments.Quick, int64(i)+1)
+		worst := int64(0)
+		for _, row := range res.Rows {
+			if row.BadBlocks > worst {
+				worst = row.BadBlocks
+			}
+		}
+		b.ReportMetric(float64(worst), "worst-bad-blocks")
+	}
+}
+
+func BenchmarkTabS6Proportionality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.TabS6Proportionality(experiments.Quick, int64(i)+1)
+		if len(res.Rows) == 3 && res.Rows[1].P99 > 0 {
+			b.ReportMetric(float64(res.Rows[0].P99)/float64(res.Rows[1].P99), "isolation-factor")
+		}
+	}
+}
+
+func BenchmarkTabS8MountLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.TabS8MountLatency(experiments.Quick, int64(i)+1)
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.Speedup(), "ondemand-speedup")
+	}
+}
+
+func BenchmarkTabS7Personalities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.TabS7Personalities(experiments.Quick, int64(i)+1)
+		lo, hi := res.RatioRange()
+		b.ReportMetric(hi/lo, "workload-ratio-spread")
+	}
+}
+
+// BenchmarkAblationStreamSeparation compares hot/cold stream separation
+// (relocated data gets its own open blocks) against mixed streams under a
+// skewed overwrite workload. The outcome is regime-dependent — separation
+// pays clearly with sub-page hot/cold mixing (TestStreamSeparationReducesGC
+// pins that down), while at page-aligned workloads and high utilization the
+// static cold pool can lock capacity instead — which is itself the kind of
+// undocumented behaviour the paper argues devices should disclose.
+func BenchmarkAblationStreamSeparation(b *testing.B) {
+	for _, mixed := range []bool{false, true} {
+		name := "separated"
+		if mixed {
+			name = "mixed"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dev := steadyDevice(func(c *ssd.Config) {
+					c.FTL.MixStreams = mixed
+					c.FTL.OverProvision = 0.25
+				}, int64(i)+1)
+				workload.Run(dev, workload.Spec{
+					Name: "hot", Pattern: workload.Hotspot, RequestBytes: 16384,
+					HotFrac: 0.1, HotAccessFrac: 0.9,
+					QueueDepth: 8, Seed: int64(i),
+				}, workload.Options{Duration: 1500 * sim.Millisecond})
+				c := dev.FTL().Counters()
+				if c.DataPagesProgrammed > 0 {
+					b.ReportMetric(float64(c.GCPagesProgrammed)/float64(c.DataPagesProgrammed), "gc-per-data-page")
+				}
+			}
+		})
+	}
+}

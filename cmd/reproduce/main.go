@@ -1,0 +1,133 @@
+// Command reproduce regenerates the paper's tables and figures on the
+// simulated substrate and prints paper-vs-measured summaries.
+//
+// Usage:
+//
+//	reproduce [-run fig1,fig2,fig3,fig4a,fig4b,fig5,fig6|all] [-full] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ssdtp/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment ids (fig1,fig2,fig3,fig4a,fig4b,fig5,fig6,tabS2,tabS3,tabS4,tabS5,tabS6,tabS7,tabS8)")
+	full := flag.Bool("full", false, "full scale (slower, tighter statistics)")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	csvDir := flag.String("csv", "", "also write plottable CSV series into this directory")
+	flag.Parse()
+
+	writeCSV := func(name string, header string, rows func(w *os.File)) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		fmt.Fprintln(f, header)
+		rows(f)
+		_ = f.Close()
+		fmt.Printf("(wrote %s)\n", filepath.Join(*csvDir, name))
+	}
+
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	section := func(id, title string) bool {
+		if !all && !want[id] {
+			return false
+		}
+		ran++
+		fmt.Printf("\n=== %s: %s ===\n", id, title)
+		return true
+	}
+
+	if section("fig1", "file systems age variably for different SSD models") {
+		fmt.Print(experiments.Fig1Aging(scale, *seed).Table())
+	}
+	if section("fig2", "flash writes per OLTP transaction by compression scheme") {
+		fmt.Print(experiments.Fig2Compression(scale, *seed).Table())
+	}
+	var fig3 experiments.Fig3Result
+	if section("fig3", "99th-percentile random-write latency across FTLs") {
+		fig3 = experiments.Fig3TailLatency(scale, *seed)
+		fmt.Print(fig3.Table())
+		fmt.Printf("\n--- tabS1: mean deltas (MQSim accuracy threshold is 18%%) ---\n")
+		fmt.Print(experiments.TableS1MeanDelta(fig3).Table())
+		writeCSV("fig3_tails.csv", "config,request_bytes,rank,latency_us", func(w *os.File) {
+			for _, s := range fig3.Series {
+				for i, v := range s.Tail {
+					fmt.Fprintf(w, "%s,%d,%d,%d\n", s.Config, s.RequestBytes, i, v/1000)
+				}
+			}
+		})
+	}
+	if section("fig4a", "host KB per NAND-page counter tick (MX500)") {
+		fig4a := experiments.Fig4aNandPageSize(scale, *seed)
+		fmt.Print(fig4a.Table())
+		writeCSV("fig4a_pageunit.csv", "request_bytes,kb_per_nand_page", func(w *os.File) {
+			for _, p := range fig4a.Points {
+				fmt.Fprintf(w, "%d,%.3f\n", p.RequestBytes, p.BytesPerPage()/1024)
+			}
+		})
+	}
+	if section("fig4b", "WAF: separate vs mixed workloads (MX500)") {
+		fmt.Print(experiments.Fig4bWAF(scale, *seed).Table())
+	}
+	if section("fig5", "signal diagram of a flash command (OCZ Vertex II)") {
+		fmt.Print(experiments.Fig5SignalTrace(scale, *seed).Table())
+	}
+	if section("tabS2", "probe-equipment study: decode fidelity vs sampling rate") {
+		fmt.Print(experiments.TabS2ProbeRate(scale, *seed).Table())
+	}
+	if section("tabS3", "open-channel upper bound: read tails with a knowing host") {
+		fmt.Print(experiments.TabS3OpenChannel(scale, *seed).Table())
+	}
+	if section("tabS4", "FTL design-space sweep: mean vs tail spread") {
+		fmt.Print(experiments.TabS4DesignSweep(scale, *seed).Table())
+	}
+	if section("tabS5", "endurance: GC policy vs device lifetime under a wear limit") {
+		fmt.Print(experiments.TabS5Endurance(scale, *seed).Table())
+	}
+	if section("tabS6", "multi-queue host interface: tenant isolation") {
+		fmt.Print(experiments.TabS6Proportionality(scale, *seed).Table())
+	}
+	if section("tabS7", "figure 1 extended: the ratio depends on the workload too") {
+		fmt.Print(experiments.TabS7Personalities(scale, *seed).Table())
+	}
+	if section("tabS8", "boot time: eager map reload vs on-demand chunks (§3.2's conjecture)") {
+		fmt.Print(experiments.TabS8MountLatency(scale, *seed).Table())
+	}
+	if section("fig6", "JTAG exploration of the Samsung 840 EVO") {
+		res := experiments.Fig6JTAG(scale, *seed)
+		fmt.Print(res.Table())
+		if !res.AllOK() {
+			fmt.Fprintln(os.Stderr, "fig6: findings did not match planted ground truth")
+			os.Exit(1)
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched -run=%s\n", *run)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,136 @@
+// Command ssdfio runs fio-style synthetic workloads against simulated SSD
+// models and prints latency/throughput summaries plus the device's
+// S.M.A.R.T. view — the harness behind the paper's black-box measurements.
+//
+// Usage:
+//
+//	ssdfio -model MX500 -pattern uniform -size 4096 -qd 4 -ms 500 [-smart]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ssdtp/internal/sim"
+	"ssdtp/internal/ssd"
+	"ssdtp/internal/workload"
+)
+
+func main() {
+	model := flag.String("model", "MX500", "device model: MX500|EVO840|Vertex2|S64|S120|mqsim-base")
+	pattern := flag.String("pattern", "uniform", "access pattern: seq|uniform|hotspot")
+	size := flag.Int("size", 4096, "request size in bytes")
+	qd := flag.Int("qd", 1, "queue depth (closed loop)")
+	intervalUS := flag.Int64("interval-us", 0, "open-loop issue interval in µs (overrides -qd)")
+	ms := flag.Int64("ms", 500, "run duration in simulated milliseconds")
+	readFrac := flag.Float64("read", 0, "read fraction 0..1")
+	seed := flag.Int64("seed", 1, "workload seed")
+	showSMART := flag.Bool("smart", false, "print S.M.A.R.T. attributes after the run")
+	timelineMS := flag.Int64("timeline-ms", 0, "print a completions-per-bucket timeline with this bucket width")
+	prefill := flag.Bool("prefill", false, "sequentially prefill 85% of the device first")
+	replayFile := flag.String("replay", "", "replay a text block trace (`W off len` / `R off len` / `T off len` / `F` per line) instead of a synthetic pattern")
+	flag.Parse()
+
+	cfg, err := modelByName(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	dev := ssd.NewDevice(sim.NewEngine(), cfg)
+
+	var pat workload.Pattern
+	switch *pattern {
+	case "seq":
+		pat = workload.Sequential
+	case "uniform":
+		pat = workload.Uniform
+	case "hotspot":
+		pat = workload.Hotspot
+	default:
+		fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+
+	if *prefill {
+		fill := dev.Size() * 85 / 100 / 65536 * 65536
+		workload.Run(dev, workload.Spec{
+			Name: "prefill", Pattern: workload.Sequential, RequestBytes: 65536, Length: fill,
+		}, workload.Options{MaxRequests: fill / 65536})
+	}
+
+	if *replayFile != "" {
+		f, err := os.Open(*replayFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ops, err := workload.ParseTrace(f)
+		_ = f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res := workload.Replay(dev, ops)
+		fmt.Println(res)
+		fmt.Printf("throughput: %.1f MB/s over %s simulated\n", res.ThroughputMBps(), fmtMS(res.Duration))
+		if *showSMART {
+			fmt.Print(dev.SMART().String())
+		}
+		return
+	}
+
+	res := workload.Run(dev, workload.Spec{
+		Name:         fmt.Sprintf("%s-%s", *model, *pattern),
+		Pattern:      pat,
+		RequestBytes: *size,
+		QueueDepth:   *qd,
+		Interval:     sim.Time(*intervalUS) * sim.Microsecond,
+		ReadFrac:     *readFrac,
+		Seed:         *seed,
+	}, workload.Options{
+		Duration:         sim.Time(*ms) * sim.Millisecond,
+		TimelineInterval: sim.Time(*timelineMS) * sim.Millisecond,
+	})
+
+	fmt.Println(res)
+	fmt.Printf("throughput: %.1f MB/s over %s simulated\n",
+		res.ThroughputMBps(), fmtMS(res.Duration))
+	c := dev.FTL().Counters()
+	fmt.Printf("flash: %d data, %d GC, %d map, %d parity pages; %d erases; cache hits %d\n",
+		c.DataPagesProgrammed, c.GCPagesProgrammed, c.MapPagesProgrammed,
+		c.ParityPagesProgrammed, c.Erases, c.CacheHits)
+	if *timelineMS > 0 {
+		fmt.Printf("timeline (%dms buckets):", *timelineMS)
+		for _, n := range res.Timeline {
+			fmt.Printf(" %d", n)
+		}
+		fmt.Println()
+	}
+	if *showSMART {
+		fmt.Print(dev.SMART().String())
+	}
+}
+
+func modelByName(name string) (ssd.Config, error) {
+	switch name {
+	case "MX500":
+		return ssd.MX500(), nil
+	case "EVO840":
+		return ssd.EVO840(), nil
+	case "Vertex2":
+		return ssd.Vertex2(), nil
+	case "S64":
+		return ssd.S64(), nil
+	case "S120":
+		return ssd.S120(), nil
+	case "mqsim-base":
+		return ssd.MQSimBase(), nil
+	default:
+		return ssd.Config{}, fmt.Errorf("unknown model %q", name)
+	}
+}
+
+func fmtMS(t sim.Time) string {
+	return fmt.Sprintf("%.1fms", float64(t)/float64(sim.Millisecond))
+}

@@ -1,0 +1,6 @@
+// Package ssdtp is the root of the SSD transparency toolkit, a full
+// reproduction of "Why and How to Increase SSD Performance Transparency"
+// (HotOS'19). The implementation lives under internal/ (see DESIGN.md for
+// the system inventory); cmd/ holds the tools, examples/ the runnable
+// walkthroughs, and bench_test.go regenerates every figure.
+package ssdtp

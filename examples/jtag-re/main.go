@@ -1,0 +1,21 @@
+// JTAG-RE: the §3.2 end-to-end story — drive the 840 EVO's debug port over
+// bit-banged GPIO, de-obfuscate its update file, and recover the FTL's
+// internals, validating every finding against the planted ground truth.
+package main
+
+import (
+	"fmt"
+
+	"ssdtp/internal/experiments"
+)
+
+func main() {
+	res := experiments.Fig6JTAG(experiments.Quick, 1)
+	fmt.Print(res.Table())
+	if res.AllOK() {
+		fmt.Println("\nall findings match the planted ground truth — the debug port alone")
+		fmt.Println("was enough to recover what the paper's §3.2 reports.")
+	} else {
+		fmt.Println("\nsome findings did NOT match — see above.")
+	}
+}

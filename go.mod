@@ -1,0 +1,3 @@
+module ssdtp
+
+go 1.22

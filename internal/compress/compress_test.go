@@ -1,0 +1,158 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const page = 16384
+
+func TestNewKnownSchemes(t *testing.T) {
+	for _, name := range SchemeNames {
+		s, err := New(name, page)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("Name() = %q, want %q", s.Name(), name)
+		}
+	}
+	if _, err := New("zstd", page); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestNoneWritesFullSectors(t *testing.T) {
+	s, _ := New("none", page)
+	// 4 sectors fill one 16KB page exactly.
+	for i := int64(0); i < 4; i++ {
+		s.WriteSector(i, 0.1) // ratio ignored
+	}
+	if got := s.PagesWritten(); got != 1 {
+		t.Errorf("PagesWritten = %d, want 1", got)
+	}
+}
+
+func TestCompressionReducesPages(t *testing.T) {
+	none, _ := New("none", page)
+	comp, _ := New("compact", page)
+	for i := int64(0); i < 1000; i++ {
+		none.WriteSector(i, 0.25)
+		comp.WriteSector(i, 0.25)
+	}
+	if comp.PagesWritten() >= none.PagesWritten() {
+		t.Errorf("compact (%d pages) not below none (%d)", comp.PagesWritten(), none.PagesWritten())
+	}
+}
+
+func TestChunkRMWAmplifies(t *testing.T) {
+	// Random single-sector overwrites: chunk4 rewrites 16KB per update,
+	// compact rewrites ~1KB. chunk4 must write several times more pages.
+	compact, _ := New("compact", page)
+	chunk4, _ := New("chunk4", page)
+	rng := rand.New(rand.NewSource(1))
+	for i := int64(0); i < 4096; i++ { // prime
+		compact.WriteSector(i, 0.25)
+		chunk4.WriteSector(i, 0.25)
+	}
+	c0, k0 := compact.PagesWritten(), chunk4.PagesWritten()
+	for n := 0; n < 20000; n++ {
+		id := rng.Int63n(4096)
+		compact.WriteSector(id, 0.25)
+		chunk4.WriteSector(id, 0.25)
+	}
+	dc, dk := compact.PagesWritten()-c0, chunk4.PagesWritten()-k0
+	if dk < 2*dc {
+		t.Errorf("chunk4 wrote %d pages vs compact %d; expected >2x RMW amplification", dk, dc)
+	}
+}
+
+func TestBucketSlackCostsPages(t *testing.T) {
+	// Ratio chosen so compressed size lands just above a bucket boundary.
+	bp, _ := New("bp32", page)
+	re, _ := New("re-bp32", page)
+	for i := int64(0); i < 8192; i++ {
+		bp.WriteSector(i, 0.14) // ~590B -> 1024B bucket (42% slack)
+		re.WriteSector(i, 0.14)
+	}
+	if bp.PagesWritten() <= re.PagesWritten() {
+		t.Errorf("bp32 (%d) not above re-bp32 (%d) despite bucket slack", bp.PagesWritten(), re.PagesWritten())
+	}
+}
+
+func TestCleaningTriggersUnderOverwrite(t *testing.T) {
+	s := newPacked("compact", page, packedOpts{bucket: 1, headroom: 0.22})
+	rng := rand.New(rand.NewSource(2))
+	for i := int64(0); i < 2048; i++ {
+		s.WriteSector(i, 0.3)
+	}
+	for n := 0; n < 50000; n++ {
+		s.WriteSector(rng.Int63n(2048), 0.3)
+	}
+	if s.log.cleanWrites == 0 {
+		t.Error("no cleaning despite sustained overwrites")
+	}
+	// Capacity bound respected (within one cleaning round of slack).
+	budget := float64(s.log.liveBytes)*(1+s.log.headroom) + 2*float64(page)
+	if float64(s.log.totalBytes) > budget*1.05 {
+		t.Errorf("log grew to %d, budget %.0f", s.log.totalBytes, budget)
+	}
+}
+
+func TestJointRatioMonotone(t *testing.T) {
+	r := 0.4
+	if JointRatio(r, 1) != r {
+		t.Error("k=1 must be identity")
+	}
+	if !(JointRatio(r, 4) < JointRatio(r, 2) && JointRatio(r, 2) < r) {
+		t.Errorf("joint ratios not improving: k2=%v k4=%v", JointRatio(r, 2), JointRatio(r, 4))
+	}
+	if JointRatio(0.02, 64) <= 0 {
+		t.Error("joint ratio must stay positive")
+	}
+}
+
+func TestCompressedSizeBounds(t *testing.T) {
+	if got := compressedSize(4096, 2.0); got != 4096 {
+		t.Errorf("incompressible data must cap at original size, got %d", got)
+	}
+	if got := compressedSize(4096, 0.0); got < 16 {
+		t.Errorf("size below header: %d", got)
+	}
+}
+
+// Property: liveBytes never exceeds totalBytes and never goes negative
+// under arbitrary overwrite streams, on every scheme.
+func TestAccountingInvariantProperty(t *testing.T) {
+	f := func(seed int64, ops uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, name := range SchemeNames {
+			s, _ := New(name, page)
+			for n := 0; n < int(ops%500)+50; n++ {
+				if rng.Intn(5) == 0 {
+					s.Append(rng.Intn(2048)+64, 0.5)
+				} else {
+					s.WriteSector(rng.Int63n(256), 0.1+0.8*rng.Float64())
+				}
+			}
+			var la *logAccount
+			switch v := s.(type) {
+			case *packed:
+				la = &v.log
+			case *chunked:
+				la = &v.log
+			}
+			if la.liveBytes < 0 || la.liveBytes > la.totalBytes+int64(page) {
+				return false
+			}
+			if s.PagesWritten() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

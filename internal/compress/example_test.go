@@ -1,0 +1,21 @@
+package compress_test
+
+import (
+	"fmt"
+
+	"ssdtp/internal/compress"
+)
+
+func ExampleNew() {
+	// Same updates, two schemes: chunked compression pays whole-chunk
+	// read-modify-write on every 4 KB update.
+	compact, _ := compress.New("compact", 16384)
+	chunk4, _ := compress.New("chunk4", 16384)
+	for i := 0; i < 4096; i++ {
+		id := int64(i % 256) // hot working set
+		compact.WriteSector(id, 0.25)
+		chunk4.WriteSector(id, 0.25)
+	}
+	fmt.Println(chunk4.PagesWritten() > 2*compact.PagesWritten())
+	// Output: true
+}

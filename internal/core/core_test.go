@@ -1,0 +1,293 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ssdtp/internal/firmware"
+	"ssdtp/internal/ftl"
+	"ssdtp/internal/jtag"
+	"ssdtp/internal/sim"
+	"ssdtp/internal/ssd"
+	"ssdtp/internal/workload"
+)
+
+func TestMeasurePageUnitConvergesNear30KB(t *testing.T) {
+	cfg := ssd.MX500()
+	dev := ssd.NewDevice(sim.NewEngine(), cfg)
+	sizes := []int{4096, 16384, 65536, 262144, 1048576}
+	pts := MeasurePageUnit(dev, sizes, 4<<20)
+	if len(pts) != len(sizes) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	small := pts[0].BytesPerPage()
+	large := pts[len(pts)-1].BytesPerPage()
+	if small >= large {
+		t.Errorf("series not increasing: small=%.0f large=%.0f", small, large)
+	}
+	// Converges at ~30 KB (32 KB unit x 15/16 RAIN data fraction).
+	if large < 27000 || large > 31000 {
+		t.Errorf("large-size bytes/page = %.0f, want ~30000", large)
+	}
+}
+
+func TestMeasureWAFAndPrediction(t *testing.T) {
+	dev := ssd.NewDevice(sim.NewEngine(), ssd.MX500())
+	third := dev.Size() / 3 / 4096 * 4096
+	spec := workload.Spec{Name: "u4k", Pattern: workload.Uniform, RequestBytes: 4096, Offset: 0, Length: third, Seed: 1, QueueDepth: 4}
+	m := MeasureWAF(dev, spec, 200*sim.Millisecond)
+	if m.HostBytes == 0 || m.NANDPages == 0 {
+		t.Fatalf("empty measurement: %+v", m)
+	}
+	waf := m.WAF(16384)
+	if waf <= 0.3 || waf >= 1.2 {
+		t.Errorf("priming-stage WAF = %.3f, expected ~0.5-0.6", waf)
+	}
+	pred := PredictMixedWAF([]WAFMeasurement{m, m}, 16384)
+	if pred != waf {
+		t.Errorf("prediction of identical parts = %v, want %v", pred, waf)
+	}
+}
+
+func TestMeasureWAFConcurrent(t *testing.T) {
+	dev := ssd.NewDevice(sim.NewEngine(), ssd.MX500())
+	third := dev.Size() / 3 / 4096 * 4096
+	specs := []workload.Spec{
+		{Name: "a", Pattern: workload.Uniform, RequestBytes: 4096, Offset: 0, Length: third, Seed: 1},
+		{Name: "b", Pattern: workload.Hotspot, RequestBytes: 4096, Offset: third, Length: third, Seed: 2},
+	}
+	res := MeasureWAFConcurrent(dev, specs, 100*sim.Millisecond)
+	if res.Combined.HostBytes == 0 {
+		t.Fatal("no combined traffic")
+	}
+	if len(res.PerSpec) != 2 {
+		t.Fatalf("per-spec results = %d", len(res.PerSpec))
+	}
+	var sum int64
+	for _, r := range res.PerSpec {
+		sum += r.BytesWritten
+	}
+	if sum != res.Combined.HostBytes {
+		t.Errorf("host bytes mismatch: %d vs %d", sum, res.Combined.HostBytes)
+	}
+}
+
+func TestDetectWriteBufferSize(t *testing.T) {
+	cfg := ssd.MQSimBase()
+	cfg.FTL.CacheBytes = 1 << 20
+	dev := ssd.NewDevice(sim.NewEngine(), cfg)
+	est, knees := DetectWriteBufferSize(dev, 8<<20)
+	if len(knees) == 0 {
+		t.Fatal("no measurements")
+	}
+	if est == 0 {
+		t.Fatal("no knee found despite 1 MiB cache")
+	}
+	// The knee should appear within a factor of 4 of the true cache size.
+	if est < 1<<19 || est > 1<<23 {
+		t.Errorf("estimated buffer = %d, true 1 MiB", est)
+	}
+}
+
+func TestCharacterizeByProbe(t *testing.T) {
+	cfg := ssd.Vertex2()
+	cfg.Geometry.BlocksPerPlane = 8
+	dev := ssd.NewDevice(sim.NewEngine(), cfg)
+	f := CharacterizeByProbe(dev)
+	if f.Ops == 0 {
+		t.Fatal("probe saw nothing")
+	}
+	if f.PageBytes != cfg.Geometry.PageSize {
+		t.Errorf("inferred page = %d, want %d", f.PageBytes, cfg.Geometry.PageSize)
+	}
+	if f.TProg != cfg.Timing.ProgramPage {
+		t.Errorf("inferred tPROG = %d, want %d", f.TProg, cfg.Timing.ProgramPage)
+	}
+	if f.TErase != cfg.Timing.EraseBlock {
+		t.Errorf("inferred tBERS = %d, want %d (GC must have erased)", f.TErase, cfg.Timing.EraseBlock)
+	}
+	if f.ActiveChannels < 2 {
+		t.Errorf("active channels = %d", f.ActiveChannels)
+	}
+	if !f.OutOfPlace {
+		t.Error("failed to detect out-of-place writes on a log-structured FTL")
+	}
+}
+
+func TestCharacterizeProbeDetectsSLC(t *testing.T) {
+	cfg := ssd.EVO840()
+	dev := ssd.NewDevice(sim.NewEngine(), cfg)
+	f := CharacterizeByProbe(dev)
+	if f.SLCTProg == 0 {
+		t.Error("pSLC programs not detected via bimodal busy times")
+	}
+	if f.SLCTProg >= f.TProg {
+		t.Errorf("SLC tPROG %d not faster than TLC %d", f.SLCTProg, f.TProg)
+	}
+}
+
+func evoExplorationRig(t *testing.T) (*firmware.EVO840, *jtag.Debugger) {
+	t.Helper()
+	dev := ssd.NewDevice(sim.NewEngine(), ssd.EVO840())
+	fw := firmware.New(dev)
+	probe := jtag.NewProbe(jtag.NewPins(jtag.NewTAP(fw)))
+	probe.Reset()
+	return fw, jtag.NewDebugger(probe, fw.IRWidth())
+}
+
+func TestExploreEVORecoversGroundTruth(t *testing.T) {
+	fw, d := evoExplorationRig(t)
+	f, err := ExploreEVO(d, fw.UpdateFile(), FirmwareTraffic{FW: fw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.IDCode != firmware.IDCode {
+		t.Errorf("IDCode = %#x", f.IDCode)
+	}
+	if f.Cores != firmware.Cores || f.Channels != firmware.Channels {
+		t.Errorf("cores/channels = %d/%d", f.Cores, f.Channels)
+	}
+	if f.MapArrays != firmware.MapArrays {
+		t.Errorf("arrays = %d", f.MapArrays)
+	}
+	if f.ActualMapBytes>>20 != 264 {
+		t.Errorf("actual map = %d MiB, want 264", f.ActualMapBytes>>20)
+	}
+	if mb := f.TheoreticalBytes >> 20; mb < 210 || mb > 222 {
+		t.Errorf("theoretical = %d MiB, want ~211-221", mb)
+	}
+	if f.DRAMBytes>>20 != 512 {
+		t.Errorf("DRAM = %d MiB", f.DRAMBytes>>20)
+	}
+	if f.WordBytes != firmware.WordBytes {
+		t.Errorf("word bytes = %d", f.WordBytes)
+	}
+	if f.EntryBitsUsed <= 0 || f.EntryBitsUsed > 30 {
+		t.Errorf("entry bits = %d", f.EntryBitsUsed)
+	}
+	if !f.ChunkLoadOnDemand {
+		t.Error("chunk-on-demand not detected")
+	}
+	if f.ChunkSpanBytes != firmware.ChunkSpanBytes {
+		t.Errorf("chunk span = %d, want %d (117.5 MiB)", f.ChunkSpanBytes, firmware.ChunkSpanBytes)
+	}
+	if !f.FlashPowerGating {
+		t.Error("flash power gating not detected")
+	}
+	// Core roles: exactly one SATA core and two channel cores split by
+	// parity.
+	sata, evens, odds := 0, 0, 0
+	for _, r := range f.CoreRoles {
+		switch {
+		case strings.Contains(r, "SATA"):
+			sata++
+		case strings.Contains(r, "even"):
+			evens++
+		case strings.Contains(r, "odd"):
+			odds++
+		}
+	}
+	if sata != 1 || evens != 1 || odds != 1 {
+		t.Errorf("core roles = %v", f.CoreRoles)
+	}
+	if !strings.Contains(f.ChannelSplit, "LBA bit 0") {
+		t.Errorf("channel split = %q", f.ChannelSplit)
+	}
+	if s := f.Summary(); !strings.Contains(s, "264 MiB of 512 MiB") {
+		t.Errorf("summary missing headline numbers:\n%s", s)
+	}
+}
+
+func TestExploreEVORejectsCorruptUpdate(t *testing.T) {
+	fw, d := evoExplorationRig(t)
+	bad := fw.UpdateFile()
+	bad[100] ^= 0xFF
+	if _, err := ExploreEVO(d, bad, FirmwareTraffic{FW: fw}); err == nil {
+		t.Error("corrupt update file accepted")
+	}
+}
+
+func TestFirmwareTrafficStandalone(t *testing.T) {
+	fw := firmware.New(nil)
+	tr := FirmwareTraffic{FW: fw}
+	tr.Touch(0)
+	tr.Quiesce()
+	if tr.MaxSector() != int64(firmware.LogicalAddrs) {
+		t.Errorf("MaxSector = %d", tr.MaxSector())
+	}
+}
+
+func TestProbeIdentifiesChipsAtBoot(t *testing.T) {
+	cfg := ssd.Vertex2()
+	cfg.Geometry.BlocksPerPlane = 8
+	dev := ssd.NewDevice(sim.NewEngine(), cfg)
+	f := CharacterizeByProbe(dev)
+	if f.Manufacturer != "MICRON" {
+		t.Errorf("manufacturer = %q", f.Manufacturer)
+	}
+	if f.Model == "" {
+		t.Error("model not recovered")
+	}
+	if f.JEDEC != 0x2C {
+		t.Errorf("JEDEC = %#x", f.JEDEC)
+	}
+	if !f.ParamGeometryOK {
+		t.Error("parameter-page geometry did not match observed data path")
+	}
+}
+
+func TestInferStripingDistinguishesOrders(t *testing.T) {
+	run := func(alloc ftl.AllocOrder) StripingFindings {
+		cfg := ssd.MQSimBase()
+		cfg.FTL.Alloc = alloc
+		dev := ssd.NewDevice(sim.NewEngine(), cfg)
+		return InferStriping(dev, 0)
+	}
+	cwdp := run(ftl.AllocCWDP)
+	if cwdp.Channels != 4 || !strings.Contains(cwdp.Guess, "channel-first") {
+		t.Errorf("CWDP inferred as %v", cwdp)
+	}
+	pdwc := run(ftl.AllocPDWC)
+	// MQSimBase has 2 dies x 2 planes per channel: a 4-page batch stays on
+	// channel 0 (plus at most the trailing journal page's channel).
+	if pdwc.Channels > 2 || !strings.Contains(pdwc.Guess, "channel-last") {
+		t.Errorf("PDWC inferred as %v", pdwc)
+	}
+}
+
+func TestEstimateParallelism(t *testing.T) {
+	cfg := ssd.MQSimBase() // 4 channels x 2 dies = 8 concurrent readers
+	dev := ssd.NewDevice(sim.NewEngine(), cfg)
+	est := EstimateParallelism(dev, 16)
+	if est.Units < 6 || est.Units > 10 {
+		t.Errorf("estimated parallelism = %d, true die count 8", est.Units)
+	}
+	if len(est.Latencies) != 16 {
+		t.Errorf("latency points = %d", len(est.Latencies))
+	}
+}
+
+func TestFullReport(t *testing.T) {
+	cfg := ssd.MQSimBase()
+	cfg.Geometry.BlocksPerPlane = 16
+	dev := ssd.NewDevice(sim.NewEngine(), cfg)
+	r := FullReport(dev)
+	if r.Model != "mqsim-base" {
+		t.Errorf("model = %q", r.Model)
+	}
+	if r.Probe.PageBytes != 16384 || !r.Probe.OutOfPlace {
+		t.Errorf("probe findings off: %+v", r.Probe)
+	}
+	if r.Parallelism.Units < 4 {
+		t.Errorf("parallelism = %d", r.Parallelism.Units)
+	}
+	if r.WriteBufferBytes == 0 {
+		t.Error("write buffer not detected")
+	}
+	out := r.Render()
+	for _, want := range []string{"transparency report", "black-box", "electrical", "allocation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"ssdtp/internal/firmware"
+	"ssdtp/internal/jtag"
+)
+
+// Traffic lets the JTAG explorer drive host I/O with controlled LBA
+// parity — the "carefully tracing single-sector accesses" of §3.2. Sector
+// arguments are logical 4 KB addresses; implementations must complete the
+// I/O before returning.
+type Traffic interface {
+	// Touch issues one host read of the given logical sector.
+	Touch(lsn int64)
+	// TouchWrite issues one host write of the given logical sector.
+	TouchWrite(lsn int64)
+	// Quiesce waits until the device is idle.
+	Quiesce()
+	// MaxSector is the highest logical sector Touch may use.
+	MaxSector() int64
+}
+
+// EVOFindings is the report of a JTAG exploration — the recovered internals
+// of §3.2. Every field is derived from debug-port observations plus the
+// public firmware update file.
+type EVOFindings struct {
+	IDCode       uint32
+	FirmwareVer  string
+	Cores        int
+	CoreRoles    []string // per core
+	ChannelSplit string   // e.g. "LBA bit 0 selects the core"
+	Channels     int
+
+	MapArrays        int
+	ArrayBytes       int64
+	WordBytes        int
+	EntryBitsUsed    int   // highest bit observed in live entries
+	TheoreticalBytes int64 // minimal encoding for the address space
+	ActualMapBytes   int64 // arrays + hashed index residency
+	DRAMBytes        int64
+
+	PSLCIndexDetected bool
+	PSLCIndexBytes    int64
+
+	ChunkLoadOnDemand bool
+	ChunkSpanBytes    int64
+
+	FlashPowerGating bool
+}
+
+// Summary renders the findings the way §3.2 narrates them.
+func (f EVOFindings) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "IDCODE %#x, firmware %s\n", f.IDCode, f.FirmwareVer)
+	fmt.Fprintf(&b, "CPU: %d cores; roles: %s\n", f.Cores, strings.Join(f.CoreRoles, ", "))
+	fmt.Fprintf(&b, "Channel split: %s (%d channels)\n", f.ChannelSplit, f.Channels)
+	fmt.Fprintf(&b, "Translation map: %d arrays x %d MiB, %d-byte words (entries use %d bits)\n",
+		f.MapArrays, f.ArrayBytes>>20, f.WordBytes, f.EntryBitsUsed)
+	fmt.Fprintf(&b, "Map occupies %d MiB of %d MiB DRAM; theoretical minimum %d MiB\n",
+		f.ActualMapBytes>>20, f.DRAMBytes>>20, f.TheoreticalBytes>>20)
+	if f.PSLCIndexDetected {
+		fmt.Fprintf(&b, "Hashed pSLC index: %d MiB\n", f.PSLCIndexBytes>>20)
+	}
+	if f.ChunkLoadOnDemand {
+		fmt.Fprintf(&b, "Map chunks load on demand; chunk spans %.1f MiB of logical space\n",
+			float64(f.ChunkSpanBytes)/(1<<20))
+	}
+	fmt.Fprintf(&b, "Flash controller power-gates when idle: %v\n", f.FlashPowerGating)
+	return b.String()
+}
+
+// ExploreEVO performs the full §3.2 exploration: de-obfuscate the update
+// file, parse its memory map, then verify and quantify everything through
+// the debug port while steering host traffic.
+func ExploreEVO(d *jtag.Debugger, updateFile []byte, traffic Traffic) (EVOFindings, error) {
+	var f EVOFindings
+	d.Reset()
+	f.IDCode = d.IDCode()
+
+	img, err := firmware.Deobfuscate(updateFile)
+	if err != nil {
+		return f, fmt.Errorf("core: update file: %w", err)
+	}
+	f.FirmwareVer = firmware.Version(img)
+	regions, err := firmware.ParseRegions(img)
+	if err != nil {
+		return f, fmt.Errorf("core: firmware memory map: %w", err)
+	}
+
+	// Structural inventory from the embedded map, verified via the port.
+	var arrayBase uint32
+	for _, r := range regions {
+		switch r.Kind {
+		case firmware.RegionMapArray:
+			if f.MapArrays == 0 {
+				arrayBase = r.Base
+				f.ArrayBytes = int64(r.Size)
+			}
+			f.MapArrays++
+		case firmware.RegionPSLCIndex:
+			f.PSLCIndexBytes = int64(r.Size)
+		case firmware.RegionDRAM:
+			f.DRAMBytes = int64(r.Size)
+		}
+	}
+	f.ActualMapBytes = int64(f.MapArrays)*f.ArrayBytes + f.PSLCIndexBytes
+
+	// Hardware facts from MMIO (discoverable by decompiling the handlers;
+	// the registers are in the image's map).
+	f.Cores = int(d.ReadWord(firmware.MMIOBase + firmware.RegCoreCount))
+	f.Channels = int(d.ReadWord(firmware.MMIOBase + firmware.RegChannelCount))
+
+	// Word size and entry width: touch a low sector so its chunk is
+	// resident, then inspect live entries.
+	traffic.Touch(0)
+	traffic.Touch(1)
+	traffic.Quiesce()
+	f.WordBytes = 4 // arrays index by word; verified by slot arithmetic below
+	maxBit := 0
+	for slot := uint32(0); slot < 64; slot++ {
+		w := d.ReadWord(arrayBase + slot*4)
+		if w == 0xFFFF_FFFF {
+			continue
+		}
+		if b := bits.Len32(w); b > maxBit {
+			maxBit = b
+		}
+	}
+	f.EntryBitsUsed = maxBit
+	// Theoretical minimum: address count from total array slots.
+	addrs := int64(f.MapArrays) * f.ArrayBytes / int64(f.WordBytes)
+	bitsNeeded := bits.Len64(uint64(addrs - 1))
+	f.TheoreticalBytes = addrs * int64(bitsNeeded) / 8
+
+	// Core roles via PC sampling under parity-steered traffic.
+	f.CoreRoles = make([]string, f.Cores)
+	idle := make([]uint32, f.Cores)
+	traffic.Quiesce()
+	for c := 0; c < f.Cores; c++ {
+		idle[c] = d.PC(c) // consume any stale activity window
+		idle[c] = d.PC(c)
+	}
+	activeOn := func(lsnParity int64) []bool {
+		out := make([]bool, f.Cores)
+		for i := 0; i < 8; i++ {
+			traffic.Touch(int64(i)*2 + lsnParity)
+		}
+		for c := 0; c < f.Cores; c++ {
+			if d.PC(c) != idle[c] {
+				out[c] = true
+			}
+		}
+		traffic.Quiesce()
+		for c := 0; c < f.Cores; c++ {
+			d.PC(c) // drain windows
+		}
+		return out
+	}
+	even := activeOn(0)
+	odd := activeOn(1)
+	evenCore, oddCore := -1, -1
+	for c := 0; c < f.Cores; c++ {
+		switch {
+		case even[c] && odd[c]:
+			f.CoreRoles[c] = "host-interface (SATA)"
+		case even[c]:
+			f.CoreRoles[c] = "flash channels (even LBAs)"
+			evenCore = c
+		case odd[c]:
+			f.CoreRoles[c] = "flash channels (odd LBAs)"
+			oddCore = c
+		default:
+			f.CoreRoles[c] = "idle/unknown"
+		}
+	}
+	if evenCore >= 0 && oddCore >= 0 {
+		f.ChannelSplit = "LBA bit 0 selects the FTL core (each core drives half the channels)"
+	} else {
+		f.ChannelSplit = "not established"
+	}
+
+	// Chunk-on-demand: pick a far sector whose chunk is not yet resident.
+	farLSN := traffic.MaxSector() - 64
+	farSlot := uint32(farLSN>>3) * 4
+	farArray := uint32(farLSN & 7)
+	farAddr := arrayBase + farArray*uint32(f.ArrayBytes) + farSlot
+	before := d.ReadWord(farAddr)
+	traffic.Touch(farLSN)
+	traffic.Quiesce()
+	after := d.ReadWord(farAddr)
+	f.ChunkLoadOnDemand = before == 0xFFFF_FFFF && after != 0xFFFF_FFFF
+	if f.ChunkLoadOnDemand {
+		f.ChunkSpanBytes = measureChunkSpan(d, arrayBase, int64(f.ArrayBytes), farLSN)
+	}
+
+	// Hashed pSLC index: generate fresh writes (which land in the SLC
+	// buffer), then sample buckets across the region looking for sparse
+	// used-bit-tagged entries.
+	if f.PSLCIndexBytes > 0 {
+		for lsn := int64(1024); lsn < 3072; lsn++ {
+			traffic.TouchWrite(lsn)
+		}
+		traffic.Quiesce()
+		buckets := f.PSLCIndexBytes / 8
+		step := buckets / 32768
+		if step < 1 {
+			step = 1
+		}
+		used := 0
+		for b := int64(0); b < buckets; b += step {
+			w := d.ReadWord(firmware.PSLCIndexBase + uint32(b*8))
+			if w&0x8000_0000 != 0 {
+				used++
+			}
+		}
+		f.PSLCIndexDetected = used > 0
+	}
+
+	// Flash power gating: status idle, then during traffic.
+	traffic.Quiesce()
+	d.FlashControllerPowered() // drain window
+	idlePower := d.FlashControllerPowered()
+	traffic.Touch(2)
+	activePower := d.FlashControllerPowered()
+	f.FlashPowerGating = !idlePower && activePower
+
+	return f, nil
+}
+
+// measureChunkSpan binary-searches the resident region's edges around a
+// just-loaded sector to size one on-demand map chunk.
+func measureChunkSpan(d *jtag.Debugger, arrayBase uint32, arrayBytes int64, lsn int64) int64 {
+	resident := func(l int64) bool {
+		if l < 0 {
+			return false
+		}
+		addr := arrayBase + uint32(l&7)*uint32(arrayBytes) + uint32(l>>3)*4
+		return d.ReadWord(addr) != 0xFFFF_FFFF
+	}
+	// Find low edge.
+	lo := lsn
+	step := int64(1)
+	for resident(lo - step) {
+		lo -= step
+		step *= 2
+	}
+	for step > 1 {
+		step /= 2
+		if resident(lo - step) {
+			lo -= step
+		}
+	}
+	// Find high edge.
+	hi := lsn
+	step = 1
+	maxLSN := arrayBytes / 4 * 8
+	for hi+step < maxLSN && resident(hi+step) {
+		hi += step
+		step *= 2
+	}
+	for step > 1 {
+		step /= 2
+		if hi+step < maxLSN && resident(hi+step) {
+			hi += step
+		}
+	}
+	return (hi - lo + 1) * firmware.SectorSize
+}

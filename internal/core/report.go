@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ssdtp/internal/sim"
+	"ssdtp/internal/ssd"
+)
+
+// DeviceReport is the full transparency work-up of one drive: everything
+// the toolkit can establish from the outside, in one structure. This is the
+// deliverable the paper argues the community needs per device — assembled
+// here from black-box probing and (when probes are attached) electrical
+// capture.
+type DeviceReport struct {
+	Model string
+
+	// Black-box findings (host interface only).
+	WriteBufferBytes int64
+	Parallelism      ParallelismEstimate
+	PageUnit         []PageUnitPoint
+
+	// Probe findings (require physical access).
+	Probe    ProbeFindings
+	Striping StripingFindings
+}
+
+// Render prints the report in a datasheet-like layout.
+func (r DeviceReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== transparency report: %s ===\n\n", r.Model)
+	b.WriteString("black-box (host interface only):\n")
+	fmt.Fprintf(&b, "  write buffer      ~%d KiB\n", r.WriteBufferBytes>>10)
+	fmt.Fprintf(&b, "  parallel units    ~%d\n", r.Parallelism.Units)
+	if n := len(r.PageUnit); n > 0 {
+		fmt.Fprintf(&b, "  NAND page unit    ~%.1f KB of host data per S.M.A.R.T. tick\n",
+			r.PageUnit[n-1].BytesPerPage()/1024)
+	}
+	b.WriteString("\nelectrical (probes on the flash channels):\n")
+	fmt.Fprintf(&b, "  flash             %s %s (JEDEC %#x)\n", r.Probe.Manufacturer, r.Probe.Model, r.Probe.JEDEC)
+	fmt.Fprintf(&b, "  page size         %d B (parameter page agrees: %v)\n", r.Probe.PageBytes, r.Probe.ParamGeometryOK)
+	fmt.Fprintf(&b, "  tPROG/tR/tBERS    %d/%d/%d µs\n",
+		r.Probe.TProg/sim.Microsecond, r.Probe.TRead/sim.Microsecond, r.Probe.TErase/sim.Microsecond)
+	if r.Probe.SLCTProg > 0 {
+		fmt.Fprintf(&b, "  pSLC mode         yes (tPROG %d µs)\n", r.Probe.SLCTProg/sim.Microsecond)
+	}
+	fmt.Fprintf(&b, "  channels active   %d\n", r.Probe.ActiveChannels)
+	fmt.Fprintf(&b, "  placement         out-of-place: %v\n", r.Probe.OutOfPlace)
+	fmt.Fprintf(&b, "  allocation        %s\n", r.Striping.Guess)
+	fmt.Fprintf(&b, "  background ops    %d observed while idle\n", r.Probe.BackgroundOps)
+	return b.String()
+}
+
+// FullReport runs the complete work-up against a fresh device. It consumes
+// the device (prefills sections, churns past capacity); analyze a dedicated
+// instance, not one mid-experiment.
+func FullReport(dev *ssd.Device) DeviceReport {
+	r := DeviceReport{Model: dev.Name()}
+	r.Striping = InferStriping(dev, 0)
+	r.Probe = CharacterizeByProbe(dev)
+	r.WriteBufferBytes, _ = DetectWriteBufferSize(dev, 32<<20)
+	r.Parallelism = EstimateParallelism(dev, 24)
+	r.PageUnit = MeasurePageUnit(dev, []int{4096, 65536, 1048576}, 2<<20)
+	return r
+}

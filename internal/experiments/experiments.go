@@ -1,0 +1,24 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each experiment is a
+// pure function from a seed (and a Scale) to a result struct that knows how
+// to render itself as the paper's rows/series; cmd/reproduce prints them and
+// the repository's benchmarks time them.
+package experiments
+
+// Scale trades fidelity for runtime. Full is what EXPERIMENTS.md reports;
+// Quick is for benchmarks and smoke tests.
+type Scale int
+
+// Scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// pick returns q under Quick, f under Full.
+func (s Scale) pick(q, f int64) int64 {
+	if s == Quick {
+		return q
+	}
+	return f
+}

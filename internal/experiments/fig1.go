@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ssdtp/internal/fsim"
+	"ssdtp/internal/sim"
+	"ssdtp/internal/ssd"
+	"ssdtp/internal/stats"
+)
+
+// Fig1Row is one (device, aging) cell of Figure 1: the fileserver scores of
+// both file systems and their ratio.
+type Fig1Row struct {
+	Device    string
+	Aging     string
+	ExtfsOps  float64 // ops/sec
+	LogfsOps  float64
+	Ratio     float64 // logfs / extfs — the paper's F2FS/EXT4 ratio
+	ExtfsFrag float64 // extents per file after aging
+}
+
+// Fig1Result is the full matrix.
+type Fig1Result struct {
+	Rows []Fig1Row
+}
+
+// RatioRange returns the min and max ratio across cells — Figure 1's claim
+// is that this varies widely across devices and aging states (contradicting
+// a blanket "2x or more").
+func (r Fig1Result) RatioRange() (lo, hi float64) {
+	for i, row := range r.Rows {
+		if i == 0 || row.Ratio < lo {
+			lo = row.Ratio
+		}
+		if row.Ratio > hi {
+			hi = row.Ratio
+		}
+	}
+	return lo, hi
+}
+
+// Table renders the matrix.
+func (r Fig1Result) Table() string {
+	t := stats.NewTable("device", "aging", "extfs ops/s", "logfs ops/s", "logfs/extfs", "extfs frag")
+	for _, row := range r.Rows {
+		t.AddRow(row.Device, row.Aging, row.ExtfsOps, row.LogfsOps, row.Ratio, row.ExtfsFrag)
+	}
+	lo, hi := r.RatioRange()
+	return t.String() + fmt.Sprintf("ratio ranges %.2fx..%.2fx across device x aging\n", lo, hi)
+}
+
+// fig1Device builds a fresh device of the named model.
+func fig1Device(model string, scale Scale, seed int64) *ssd.Device {
+	var cfg ssd.Config
+	switch model {
+	case "S64":
+		cfg = ssd.S64()
+	default:
+		cfg = ssd.S120()
+	}
+	cfg.FTL.Seed = seed
+	return ssd.NewDevice(sim.NewEngine(), cfg)
+}
+
+// Fig1Aging reproduces Figure 1: for each device model and aging profile,
+// age a fresh file system of each type, run the fileserver benchmark, and
+// report the throughput ratio.
+func Fig1Aging(scale Scale, seed int64) Fig1Result {
+	ops := scale.pick(400, 2500)
+	profiles := []fsim.AgingProfile{fsim.AgeU, fsim.AgeA, fsim.AgeM}
+	var out Fig1Result
+	for _, model := range []string{"S64", "S120"} {
+		for _, prof := range profiles {
+			row := Fig1Row{Device: model, Aging: prof.String()}
+			for _, kind := range []string{"extfs", "logfs"} {
+				dev := fig1Device(model, scale, seed)
+				disk := fsim.SSDDisk{Dev: dev}
+				var fs fsim.FS
+				if kind == "extfs" {
+					fs = fsim.NewExtFS(disk)
+				} else {
+					fs = fsim.NewLogFS(disk)
+				}
+				fsim.Age(fs, prof, seed)
+				res := fsim.Fileserver(fs, dev.Engine(), ops, seed+100)
+				if kind == "extfs" {
+					row.ExtfsOps = res.OpsPerSecond()
+					if e, ok := fs.(*fsim.ExtFS); ok {
+						row.ExtfsFrag = e.FragmentationScore()
+					}
+				} else {
+					row.LogfsOps = res.OpsPerSecond()
+				}
+			}
+			if row.ExtfsOps > 0 {
+				row.Ratio = row.LogfsOps / row.ExtfsOps
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ssdtp/internal/compress"
+	"ssdtp/internal/oltp"
+	"ssdtp/internal/stats"
+)
+
+// Fig2Cell is one (scheme, compressibility) measurement.
+type Fig2Cell struct {
+	Scheme       string
+	Level        string
+	WritesPerTxn float64
+	Normalized   float64 // vs re-bp32 at the same level
+}
+
+// Fig2Result is the Figure 2 matrix.
+type Fig2Result struct {
+	Cells []Fig2Cell
+}
+
+// WorstOverOptimal returns the largest normalized value at the given level
+// — the paper headlines "up to 156% more writes than optimal" at high
+// compressibility.
+func (r Fig2Result) WorstOverOptimal(level string) float64 {
+	worst := 0.0
+	for _, c := range r.Cells {
+		if c.Level == level && c.Scheme != "none" && c.Normalized > worst {
+			worst = c.Normalized
+		}
+	}
+	return worst
+}
+
+// Table renders the matrix.
+func (r Fig2Result) Table() string {
+	t := stats.NewTable("scheme", "compressibility", "writes/txn", "normalized to re-bp32")
+	for _, c := range r.Cells {
+		t.AddRow(c.Scheme, c.Level, c.WritesPerTxn, c.Normalized)
+	}
+	return t.String() + fmt.Sprintf("worst compressed scheme at high compressibility: +%.0f%% over optimal\n",
+		(r.WorstOverOptimal("high")-1)*100)
+}
+
+// Fig2Compression reproduces Figure 2: flash writes per OLTP transaction
+// under each intra-SSD compression scheme, normalized to re-bp32, across
+// compressibility levels.
+func Fig2Compression(scale Scale, seed int64) Fig2Result {
+	levels := []struct {
+		name  string
+		ratio float64
+	}{
+		{"high", 0.22}, {"medium", 0.5}, {"low", 0.85},
+	}
+	txns := scale.pick(8000, 60000)
+	var out Fig2Result
+	for _, lv := range levels {
+		perScheme := map[string]float64{}
+		for _, scheme := range compress.SchemeNames {
+			eng := oltp.NewEngine(oltp.Config{
+				TablePages: 16384,
+				PageRatio:  lv.ratio,
+				Seed:       seed,
+			})
+			s, err := compress.New(scheme, 16384)
+			if err != nil {
+				panic(err)
+			}
+			eng.Prime(s)
+			perScheme[scheme] = eng.Run(s, txns).WritesPerTxn()
+		}
+		base := perScheme["re-bp32"]
+		for _, scheme := range compress.SchemeNames {
+			norm := 0.0
+			if base > 0 {
+				norm = perScheme[scheme] / base
+			}
+			out.Cells = append(out.Cells, Fig2Cell{
+				Scheme: scheme, Level: lv.name,
+				WritesPerTxn: perScheme[scheme], Normalized: norm,
+			})
+		}
+	}
+	return out
+}

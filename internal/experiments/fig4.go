@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ssdtp/internal/core"
+	"ssdtp/internal/sim"
+	"ssdtp/internal/ssd"
+	"ssdtp/internal/stats"
+	"ssdtp/internal/workload"
+)
+
+// Fig4aResult is the NAND-page-size inference series (Figure 4a).
+type Fig4aResult struct {
+	Points []core.PageUnitPoint
+}
+
+// Converged returns the large-request asymptote in bytes per counter tick.
+func (r Fig4aResult) Converged() float64 {
+	if len(r.Points) == 0 {
+		return 0
+	}
+	return r.Points[len(r.Points)-1].BytesPerPage()
+}
+
+// Table renders the series.
+func (r Fig4aResult) Table() string {
+	t := stats.NewTable("write size", "host bytes", "NAND pages", "KB per NAND page")
+	for _, p := range r.Points {
+		t.AddRow(fmtBytes(int64(p.RequestBytes)), p.HostBytes, p.NANDPages,
+			p.BytesPerPage()/1024)
+	}
+	return t.String() + fmt.Sprintf("converges at ~%.1f KB per NAND page (RAIN 15+1 over a 32 KB unit)\n",
+		r.Converged()/1024)
+}
+
+// Fig4aNandPageSize reproduces Figure 4a on the MX500 model: sequential
+// sync-writes of increasing size; host bytes divided by the S.M.A.R.T.
+// "NAND Pages" counter delta.
+func Fig4aNandPageSize(scale Scale, seed int64) Fig4aResult {
+	cfg := ssd.MX500()
+	cfg.FTL.Seed = seed
+	dev := ssd.NewDevice(sim.NewEngine(), cfg)
+	sizes := []int{4096, 8192, 16384, 32768, 65536, 131072, 262144, 524288, 1048576, 4194304}
+	perSize := scale.pick(2<<20, 16<<20)
+	return Fig4aResult{Points: core.MeasurePageUnit(dev, sizes, perSize)}
+}
+
+// Fig4bResult is the write-amplification attribution experiment
+// (Figure 4b): per-workload WAFs measured separately, the IOPS-weighted
+// prediction for the mix, and the measured mixed WAF.
+type Fig4bResult struct {
+	AssumedPageBytes int64
+	Separate         []core.WAFMeasurement
+	Mixed            core.WAFMeasurement
+	Predicted        float64
+}
+
+// Measured returns the mixed run's observed WAF.
+func (r Fig4bResult) Measured() float64 { return r.Mixed.WAF(r.AssumedPageBytes) }
+
+// Error returns measured/predicted — the factor by which the additive model
+// is off (the paper reports 0.9 vs 0.56, a ~1.6x miss).
+func (r Fig4bResult) Error() float64 {
+	if r.Predicted == 0 {
+		return 0
+	}
+	return r.Measured() / r.Predicted
+}
+
+// Table renders the figure's bars.
+func (r Fig4bResult) Table() string {
+	t := stats.NewTable("workload", "host MB", "NAND pages", "WAF", "IOPS")
+	for _, m := range r.Separate {
+		t.AddRow(m.Name, float64(m.HostBytes)/1e6, m.NANDPages, m.WAF(r.AssumedPageBytes), m.IOPS)
+	}
+	t.AddRow("expected-mixed (weighted)", "-", "-", r.Predicted, "-")
+	t.AddRow(r.Mixed.Name+" (measured)", float64(r.Mixed.HostBytes)/1e6, r.Mixed.NANDPages,
+		r.Measured(), r.Mixed.IOPS)
+	return t.String() + fmt.Sprintf("measured/predicted = %.2fx (paper: 0.90/0.56 = 1.6x)\n", r.Error())
+}
+
+// fig4bSpecs returns the paper's three workloads, each on its own section:
+// 4 KB uniform, 4 KB 80/20 hotspot, 16 KB uniform.
+func fig4bSpecs(dev *ssd.Device, seed int64) []workload.Spec {
+	// Each workload gets its own section (as in the paper); sections cover
+	// half the LBA space, leaving the FTL moderate garbage-collection
+	// headroom once the drive leaves its priming stage.
+	section := dev.Size() / 6 / 65536 * 65536
+	return []workload.Spec{
+		{Name: "4K-uniform", Pattern: workload.Uniform, RequestBytes: 4096,
+			Offset: 0, Length: section, Seed: seed + 1, QueueDepth: 2},
+		{Name: "4K-80/20", Pattern: workload.Hotspot, RequestBytes: 4096,
+			Offset: section, Length: section, Seed: seed + 2, QueueDepth: 2},
+		{Name: "16K-uniform", Pattern: workload.Uniform, RequestBytes: 16384,
+			Offset: 2 * section, Length: section, Seed: seed + 3, QueueDepth: 2},
+	}
+}
+
+// Fig4bWAF reproduces Figure 4b: the three workloads run separately on the
+// fresh (priming-stage) MX500 model, then concurrently on the same,
+// now-written device. The additive IOPS-weighted model under-predicts the
+// mixed WAF because by the mixed run the drive has consumed its clean
+// space (GC starts) and the shared write cache absorbs fewer overwrites.
+func Fig4bWAF(scale Scale, seed int64) Fig4bResult {
+	cfg := ssd.MX500()
+	cfg.FTL.Seed = seed
+	// Scale the device so the mixed run crosses out of the priming stage
+	// partway through (GC onset is what the additive model misses).
+	if scale == Quick {
+		cfg.Geometry.BlocksPerPlane = 8
+	} else {
+		cfg.Geometry.BlocksPerPlane = 20
+	}
+	dev := ssd.NewDevice(sim.NewEngine(), cfg)
+	dur := sim.Time(scale.pick(int64(250*sim.Millisecond), int64(1500*sim.Millisecond)))
+	specs := fig4bSpecs(dev, seed)
+	res := Fig4bResult{AssumedPageBytes: 16384}
+	for _, spec := range specs {
+		res.Separate = append(res.Separate, core.MeasureWAF(dev, spec, dur))
+	}
+	res.Predicted = core.PredictMixedWAF(res.Separate, res.AssumedPageBytes)
+	// The mixed run is longer: by this point in the paper's methodology the
+	// drive has been written several times over, and the combined run
+	// pushes it out of its priming stage — exactly why the additive
+	// prediction misses.
+	mixed := core.MeasureWAFConcurrent(dev, specs, 2*dur)
+	res.Mixed = mixed.Combined
+	return res
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ssdtp/internal/core"
+	"ssdtp/internal/firmware"
+	"ssdtp/internal/jtag"
+	"ssdtp/internal/sim"
+	"ssdtp/internal/ssd"
+)
+
+// Fig6Check is one recovered finding compared against the planted ground
+// truth.
+type Fig6Check struct {
+	Finding string
+	Got     string
+	Want    string
+	OK      bool
+}
+
+// Fig6Result is the JTAG reverse-engineering experiment (§3.2 / Figure 6):
+// the explorer's findings and their validation.
+type Fig6Result struct {
+	Findings core.EVOFindings
+	Checks   []Fig6Check
+}
+
+// AllOK reports whether every finding matched ground truth.
+func (r Fig6Result) AllOK() bool {
+	for _, c := range r.Checks {
+		if !c.OK {
+			return false
+		}
+	}
+	return len(r.Checks) > 0
+}
+
+// Table renders the findings and their validation.
+func (r Fig6Result) Table() string {
+	var b strings.Builder
+	b.WriteString(r.Findings.Summary())
+	b.WriteString("\nvalidation against planted ground truth:\n")
+	for _, c := range r.Checks {
+		mark := "ok "
+		if !c.OK {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "  [%s] %-34s got %-28s want %s\n", mark, c.Finding, c.Got, c.Want)
+	}
+	return b.String()
+}
+
+// Fig6JTAG runs the full §3.2 pipeline: build the EVO840 device and its
+// firmware, attach a bit-banged JTAG probe, download and de-obfuscate the
+// update file, explore, and validate every finding.
+func Fig6JTAG(scale Scale, seed int64) Fig6Result {
+	cfg := ssd.EVO840()
+	cfg.FTL.Seed = seed
+	dev := ssd.NewDevice(sim.NewEngine(), cfg)
+	fw := firmware.New(dev)
+	probe := jtag.NewProbe(jtag.NewPins(jtag.NewTAP(fw)))
+	probe.Reset()
+	dbg := jtag.NewDebugger(probe, fw.IRWidth())
+
+	findings, err := core.ExploreEVO(dbg, fw.UpdateFile(), core.FirmwareTraffic{FW: fw})
+	res := Fig6Result{Findings: findings}
+	if err != nil {
+		res.Checks = append(res.Checks, Fig6Check{
+			Finding: "exploration", Got: err.Error(), Want: "success", OK: false,
+		})
+		return res
+	}
+	check := func(name string, got, want any) {
+		g, w := fmt.Sprint(got), fmt.Sprint(want)
+		res.Checks = append(res.Checks, Fig6Check{Finding: name, Got: g, Want: w, OK: g == w})
+	}
+	check("IDCODE", fmt.Sprintf("%#x", findings.IDCode), fmt.Sprintf("%#x", firmware.IDCode))
+	check("CPU cores", findings.Cores, firmware.Cores)
+	check("flash channels", findings.Channels, firmware.Channels)
+	check("translation arrays", findings.MapArrays, firmware.MapArrays)
+	check("map residency (MiB)", findings.ActualMapBytes>>20, 264)
+	check("DRAM (MiB)", findings.DRAMBytes>>20, 512)
+	check("word bytes", findings.WordBytes, firmware.WordBytes)
+	check("theoretical map ~221 MiB", findings.TheoreticalBytes>>20 >= 210 && findings.TheoreticalBytes>>20 <= 222, true)
+	check("chunk on demand", findings.ChunkLoadOnDemand, true)
+	check("chunk span (bytes)", findings.ChunkSpanBytes, int64(firmware.ChunkSpanBytes))
+	check("flash power gating", findings.FlashPowerGating, true)
+	check("pSLC hashed index", findings.PSLCIndexDetected, true)
+	sata := 0
+	for _, r := range findings.CoreRoles {
+		if strings.Contains(r, "SATA") {
+			sata++
+		}
+	}
+	check("one SATA core", sata, 1)
+	check("LBA-LSB channel split", strings.Contains(findings.ChannelSplit, "LBA bit 0"), true)
+	return res
+}

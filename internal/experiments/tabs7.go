@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ssdtp/internal/fsim"
+	"ssdtp/internal/stats"
+)
+
+// TabS7Row is one (device, workload personality) cell.
+type TabS7Row struct {
+	Device   string
+	Workload string
+	ExtfsOps float64
+	LogfsOps float64
+	Ratio    float64
+}
+
+// TabS7Result extends Figure 1 along the workload axis: the file-system
+// performance ratio depends on the *application* as much as on the device
+// and aging — He et al.'s "unwritten contract" point, which the paper
+// builds on.
+type TabS7Result struct {
+	Rows []TabS7Row
+}
+
+// RatioRange returns the extreme ratios.
+func (r TabS7Result) RatioRange() (lo, hi float64) {
+	for i, row := range r.Rows {
+		if i == 0 || row.Ratio < lo {
+			lo = row.Ratio
+		}
+		if row.Ratio > hi {
+			hi = row.Ratio
+		}
+	}
+	return lo, hi
+}
+
+// Table renders the matrix.
+func (r TabS7Result) Table() string {
+	t := stats.NewTable("device", "workload", "extfs ops/s", "logfs ops/s", "logfs/extfs")
+	for _, row := range r.Rows {
+		t.AddRow(row.Device, row.Workload, row.ExtfsOps, row.LogfsOps, row.Ratio)
+	}
+	lo, hi := r.RatioRange()
+	return t.String() + fmt.Sprintf("ratio ranges %.2fx..%.2fx across device x workload (all aged A)\n", lo, hi)
+}
+
+// TabS7Personalities ages each file system with profile A, then benchmarks
+// three application personalities per device model.
+func TabS7Personalities(scale Scale, seed int64) TabS7Result {
+	ops := scale.pick(300, 1500)
+	type bench struct {
+		name string
+		run  func(fs fsim.FS, clk fsim.Clock) fsim.FileserverResult
+	}
+	benches := []bench{
+		{"fileserver", func(fs fsim.FS, clk fsim.Clock) fsim.FileserverResult {
+			return fsim.Fileserver(fs, clk, ops, seed+100)
+		}},
+		{"varmail", func(fs fsim.FS, clk fsim.Clock) fsim.FileserverResult {
+			return fsim.Varmail(fs, clk, ops, seed+100)
+		}},
+		{"webserver", func(fs fsim.FS, clk fsim.Clock) fsim.FileserverResult {
+			return fsim.Webserver(fs, clk, ops, seed+100)
+		}},
+	}
+	var out TabS7Result
+	for _, model := range []string{"S64", "S120"} {
+		for _, b := range benches {
+			row := TabS7Row{Device: model, Workload: b.name}
+			for _, kind := range []string{"extfs", "logfs"} {
+				dev := fig1Device(model, scale, seed)
+				disk := fsim.SSDDisk{Dev: dev}
+				var fs fsim.FS
+				if kind == "extfs" {
+					fs = fsim.NewExtFS(disk)
+				} else {
+					fs = fsim.NewLogFS(disk)
+				}
+				fsim.Age(fs, fsim.AgeA, seed)
+				res := b.run(fs, dev.Engine())
+				if kind == "extfs" {
+					row.ExtfsOps = res.OpsPerSecond()
+				} else {
+					row.LogfsOps = res.OpsPerSecond()
+				}
+			}
+			if row.ExtfsOps > 0 {
+				row.Ratio = row.LogfsOps / row.ExtfsOps
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}

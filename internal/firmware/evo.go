@@ -1,0 +1,225 @@
+package firmware
+
+import (
+	"ssdtp/internal/ssd"
+)
+
+// Planted ground truth — the facts §3.2 reports for the Samsung 840 EVO.
+// The reverse-engineering toolkit must recover these via JTAG alone; tests
+// compare its findings against this block.
+const (
+	// IDCode is the ARM DAP identification code.
+	IDCode uint32 = 0x4BA0_0477
+
+	// Cores is the tri-core Cortex-R4 configuration: core 0 services SATA,
+	// cores 1 and 2 each manage four of the eight channels, splitting
+	// requests by the 4 KB LBA's least-significant bit.
+	Cores    = 3
+	Channels = 8
+
+	// LogicalAddrs is the 65M (mebi) logical 4 KB addresses; entries
+	// require 26 bits, so the map could theoretically fit in ~221 MB, but
+	// the firmware stores 4-byte words: 260 MB of arrays plus a 4 MB
+	// hashed pSLC index = 264 MB of the 512 MB DRAM.
+	LogicalAddrs = 65 << 20
+	EntryBits    = 26
+	WordBytes    = 4
+	MapArrays    = 8
+
+	// ChunkSpanBytes is the logical span one on-demand-loaded map chunk
+	// covers: 117.5 MB.
+	ChunkSpanBytes = 117*1024*1024 + 512*1024
+
+	// SectorSize is the mapping granularity.
+	SectorSize = 4096
+)
+
+// Memory map (32-bit physical addresses).
+const (
+	ROMBase  uint32 = 0x0000_0000
+	ROMSize  uint32 = 0x0004_0000
+	SRAMBase uint32 = 0x1000_0000
+	SRAMSize uint32 = 0x0004_0000
+	DRAMBase uint32 = 0x2000_0000
+	DRAMSize uint32 = 0x2000_0000 // 512 MB
+
+	// ArrayStride is one translation array: LogicalAddrs/8 entries x 4 B.
+	ArrayStride uint32 = (LogicalAddrs / MapArrays) * WordBytes
+	ArraysBase  uint32 = DRAMBase
+
+	PSLCIndexBase uint32 = ArraysBase + MapArrays*ArrayStride
+	PSLCIndexSize uint32 = 4 << 20
+
+	ChunkBitmapBase uint32 = PSLCIndexBase + PSLCIndexSize
+
+	MMIOBase uint32 = 0x4000_0000
+	// MMIO registers (word offsets from MMIOBase).
+	RegFlashPower   uint32 = 0x00
+	RegChunksLoaded uint32 = 0x04
+	RegChunkCount   uint32 = 0x08
+	RegCoreCount    uint32 = 0x0C
+	RegChannelCount uint32 = 0x10
+)
+
+// Core program-counter symbols. Idle cores sit in a WFI loop in ROM; active
+// cores execute in their handler ranges.
+const (
+	PCIdleBase   uint32 = 0x0000_0100 // + core*0x20
+	PCSATABase   uint32 = 0x0000_9000 // core 0 host-interface handler
+	PCChanBase1  uint32 = 0x0001_0000 // core 1: channels 0-3, 0x400 apart
+	PCChanBase2  uint32 = 0x0001_4000 // core 2: channels 4-7, 0x400 apart
+	PCHandlerLen uint32 = 0x400
+)
+
+// ChunkCount is the number of on-demand map chunks.
+const ChunkCount = (int64(LogicalAddrs)*SectorSize + ChunkSpanBytes - 1) / ChunkSpanBytes
+
+// invalidEntry marks an unmapped logical address in a translation word.
+const invalidEntry uint32 = (1 << EntryBits) - 1
+
+// validFlag is set on mapped translation words (bits 26-29 carry flags).
+const validFlag uint32 = 1 << EntryBits
+
+// EVO840 is the simulated controller. It optionally fronts a live, scaled
+// ssd.Device (model EVO840): translation entries for logical addresses the
+// scaled device actually has come from its FTL; higher addresses are
+// synthesized deterministically so the full-scale structure sizes match the
+// real drive. It implements jtag.Target.
+type EVO840 struct {
+	dev *ssd.Device
+
+	image   []byte
+	regions []Region
+
+	chunkLoaded []bool
+	loadedCount uint32
+
+	// Debug state.
+	halted  [Cores]bool
+	haltPC  [Cores]uint32
+	selCore int
+	addrReg uint32
+	sram    map[uint32]uint32
+
+	// Activity accounting driven by NoteHostAccess.
+	parityOps   [2]int64 // host ops by LBA LSB since last PC sample
+	lastChan    [Cores]int
+	hostOps     int64
+	busOpsTotal int64
+	pcJitter    uint32
+
+	// pslcCache materializes the hashed pSLC index view; invalidated on
+	// host traffic.
+	pslcCache map[uint32][2]uint32
+}
+
+// New builds the controller, optionally fronting dev (which should be the
+// ssd.EVO840 model; nil gives a fully synthetic drive).
+func New(dev *ssd.Device) *EVO840 {
+	regions := []Region{
+		{Base: ROMBase, Size: ROMSize, Kind: RegionROM},
+		{Base: SRAMBase, Size: SRAMSize, Kind: RegionSRAM},
+		{Base: DRAMBase, Size: DRAMSize, Kind: RegionDRAM},
+	}
+	for i := uint32(0); i < MapArrays; i++ {
+		regions = append(regions, Region{
+			Base: ArraysBase + i*ArrayStride, Size: ArrayStride, Kind: RegionMapArray,
+		})
+	}
+	regions = append(regions,
+		Region{Base: PSLCIndexBase, Size: PSLCIndexSize, Kind: RegionPSLCIndex},
+		Region{Base: ChunkBitmapBase, Size: uint32(ChunkCount+7) / 8, Kind: RegionChunkBitmap},
+		Region{Base: MMIOBase, Size: 0x1000, Kind: RegionMMIO},
+	)
+	return &EVO840{
+		dev:         dev,
+		image:       BuildImage("EXT0BB6Q", regions),
+		regions:     regions,
+		chunkLoaded: make([]bool, ChunkCount),
+		sram:        make(map[uint32]uint32),
+	}
+}
+
+// UpdateFile returns the obfuscated firmware image, as a vendor update tool
+// would download it.
+func (f *EVO840) UpdateFile() []byte { return Obfuscate(f.image) }
+
+// Device returns the backing scaled device (may be nil).
+func (f *EVO840) Device() *ssd.Device { return f.dev }
+
+// NoteHostAccess informs the firmware of host I/O to a logical sector: the
+// covering map chunk loads on demand and core activity accounting updates.
+// The HostWrite/HostRead helpers call this; experiments driving the backing
+// device directly must, too.
+func (f *EVO840) NoteHostAccess(lsn int64) {
+	chunk := lsn * SectorSize / ChunkSpanBytes
+	if chunk >= 0 && chunk < int64(len(f.chunkLoaded)) && !f.chunkLoaded[chunk] {
+		f.chunkLoaded[chunk] = true
+		f.loadedCount++
+	}
+	par := int(lsn & 1)
+	f.parityOps[par]++
+	f.hostOps++
+	f.busOpsTotal++
+	core := 1 + par
+	f.lastChan[core] = par*4 + int((lsn>>1)&3)
+	f.pslcCache = nil
+}
+
+// HostWrite drives a write through the backing device and the firmware's
+// accounting.
+func (f *EVO840) HostWrite(lsn int64, sectors int, done func()) error {
+	for s := int64(0); s < int64(sectors); s++ {
+		f.NoteHostAccess(lsn + s)
+	}
+	if f.dev == nil {
+		if done != nil {
+			done()
+		}
+		return nil
+	}
+	return f.dev.WriteAsync(lsn*SectorSize, nil, int64(sectors)*SectorSize, done)
+}
+
+// HostRead drives a read through the backing device and the firmware's
+// accounting.
+func (f *EVO840) HostRead(lsn int64, sectors int, done func()) error {
+	for s := int64(0); s < int64(sectors); s++ {
+		f.NoteHostAccess(lsn + s)
+	}
+	if f.dev == nil {
+		if done != nil {
+			done()
+		}
+		return nil
+	}
+	return f.dev.ReadAsync(lsn*SectorSize, nil, int64(sectors)*SectorSize, done)
+}
+
+// entryFor synthesizes (or fetches) the translation word for a logical
+// address.
+func (f *EVO840) entryFor(lsn int64) uint32 {
+	if f.dev != nil && lsn < f.dev.FTL().LogicalSectors() {
+		psn := f.dev.FTL().MapEntry(lsn)
+		if psn < 0 {
+			return invalidEntry
+		}
+		return uint32(psn)&(validFlag-1) | validFlag
+	}
+	// Synthetic high addresses: deterministic hash; ~1/5 unmapped.
+	h := uint64(lsn) * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	if h%5 == 0 {
+		return invalidEntry
+	}
+	return uint32(h)&(validFlag-1) | validFlag
+}
+
+// pslcBuckets is the hashed pSLC index size in 8-byte buckets.
+const pslcBuckets = PSLCIndexSize / 8
+
+// pslcBucketFor returns the bucket index for a logical address.
+func pslcBucketFor(lsn int64) uint32 {
+	h := uint64(lsn)*0xFF51AFD7ED558CCD + 0x2545F491
+	return uint32(h>>16) % pslcBuckets
+}

@@ -1,0 +1,22 @@
+package firmware_test
+
+import (
+	"fmt"
+
+	"ssdtp/internal/firmware"
+)
+
+func ExampleDeobfuscate() {
+	fw := firmware.New(nil)
+	img, err := firmware.Deobfuscate(fw.UpdateFile())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(firmware.Version(img))
+	regions, _ := firmware.ParseRegions(img)
+	fmt.Println(len(regions), "regions in the embedded memory map")
+	// Output:
+	// EXT0BB6Q
+	// 14 regions in the embedded memory map
+}

@@ -1,0 +1,21 @@
+package firmware
+
+import "testing"
+
+// FuzzDeobfuscate hardens the update-file path: arbitrary blobs must be
+// rejected cleanly (no panic), and a valid image must round-trip.
+func FuzzDeobfuscate(f *testing.F) {
+	f.Add([]byte("SSDFW840garbage"))
+	f.Add(Obfuscate(BuildImage("FUZZ", nil)))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		img, err := Deobfuscate(blob)
+		if err != nil {
+			return
+		}
+		// Anything that passes the checksum must parse without panicking.
+		_, _ = ParseRegions(img)
+		_ = Version(img)
+		_ = ExtractStrings(img, 4)
+	})
+}

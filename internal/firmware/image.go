@@ -1,0 +1,160 @@
+// Package firmware simulates the Samsung 840 EVO's controller as seen from
+// its debug port: a tri-core SoC with a 512 MB DRAM holding the FTL's
+// translation structures, an obfuscated firmware image (retrievable as an
+// "update file" and de-obfuscated offline, as the paper did with an existing
+// tool), MMIO registers, and per-core program counters that reflect live
+// device activity. The package plants, as ground truth, exactly the facts
+// §3.2 reports — the reverse-engineering toolkit in internal/core must
+// recover them through the JTAG interface alone.
+package firmware
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Image layout constants.
+const (
+	imageMagic  = "SSDFW840"
+	mmapMagic   = "MMAP"
+	imageKeyOff = 8 // 4-byte keystream seed stored in the clear
+)
+
+// Region kinds in the firmware's embedded memory-map table.
+const (
+	RegionROM = iota
+	RegionSRAM
+	RegionDRAM
+	RegionMapArray
+	RegionPSLCIndex
+	RegionChunkBitmap
+	RegionMMIO
+)
+
+// Region is one entry of the memory-map table embedded in the firmware
+// image (the "code memory map" the paper combined with decompilation).
+type Region struct {
+	Base uint32
+	Size uint32
+	Kind uint32
+}
+
+// ErrBadImage reports a corrupt or non-firmware payload.
+var ErrBadImage = errors.New("firmware: bad image")
+
+// BuildImage assembles a plaintext firmware image: header, version string,
+// memory-map table, and filler "code". The checksum trails the payload.
+func BuildImage(version string, regions []Region) []byte {
+	var b bytes.Buffer
+	b.WriteString(imageMagic)
+	b.Write([]byte{0x13, 0x57, 0x9B, 0xDF}) // keystream seed
+	var vs [16]byte
+	copy(vs[:], version)
+	b.Write(vs[:])
+	b.WriteString(mmapMagic)
+	_ = binary.Write(&b, binary.LittleEndian, uint32(len(regions)))
+	for _, r := range regions {
+		_ = binary.Write(&b, binary.LittleEndian, r)
+	}
+	// Filler "code": deterministic pseudo-instructions.
+	code := make([]byte, 4096)
+	state := uint32(0xB5E3_7C19)
+	for i := 0; i < len(code); i += 4 {
+		state = state*1664525 + 1013904223
+		binary.LittleEndian.PutUint32(code[i:], state)
+	}
+	b.Write(code)
+	sum := crc32.ChecksumIEEE(b.Bytes())
+	_ = binary.Write(&b, binary.LittleEndian, sum)
+	return b.Bytes()
+}
+
+// keystream generates the XOR stream used by the vendor's update-file
+// obfuscation (a 32-bit LFSR — deliberately weak, as real-world schemes
+// that have been reversed tend to be).
+func keystream(seed uint32, n int) []byte {
+	out := make([]byte, n)
+	s := seed
+	for i := range out {
+		// Galois LFSR, taps 32,30,26,25.
+		for b := 0; b < 8; b++ {
+			lsb := s & 1
+			s >>= 1
+			if lsb != 0 {
+				s ^= 0xA300_0000
+			}
+		}
+		out[i] = byte(s)
+	}
+	return out
+}
+
+// Obfuscate converts a plaintext image into the form shipped in vendor
+// update files: everything after the clear header is XORed with the
+// keystream derived from the embedded seed.
+func Obfuscate(img []byte) []byte {
+	if len(img) < imageKeyOff+4 {
+		return append([]byte(nil), img...)
+	}
+	out := append([]byte(nil), img...)
+	seed := binary.LittleEndian.Uint32(out[imageKeyOff:])
+	ks := keystream(seed, len(out)-imageKeyOff-4)
+	for i, k := range ks {
+		out[imageKeyOff+4+i] ^= k
+	}
+	return out
+}
+
+// Deobfuscate inverts Obfuscate and validates the checksum — the simulated
+// equivalent of the drive_firmware de-obfuscation utility the paper used.
+func Deobfuscate(obf []byte) ([]byte, error) {
+	if len(obf) < imageKeyOff+4 || string(obf[:len(imageMagic)]) != imageMagic {
+		return nil, fmt.Errorf("%w: missing magic", ErrBadImage)
+	}
+	img := Obfuscate(obf) // XOR is an involution
+	if len(img) < 8 {
+		return nil, fmt.Errorf("%w: truncated", ErrBadImage)
+	}
+	body, tail := img[:len(img)-4], img[len(img)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadImage)
+	}
+	return img, nil
+}
+
+// ParseRegions extracts the embedded memory-map table from a plaintext
+// image.
+func ParseRegions(img []byte) ([]Region, error) {
+	i := bytes.Index(img, []byte(mmapMagic))
+	if i < 0 {
+		return nil, fmt.Errorf("%w: no memory-map table", ErrBadImage)
+	}
+	r := bytes.NewReader(img[i+len(mmapMagic):])
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	if count > 64 {
+		return nil, fmt.Errorf("%w: absurd region count %d", ErrBadImage, count)
+	}
+	regions := make([]Region, count)
+	if err := binary.Read(r, binary.LittleEndian, &regions); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	return regions, nil
+}
+
+// Version extracts the version string from a plaintext image.
+func Version(img []byte) string {
+	if len(img) < imageKeyOff+4+16 {
+		return ""
+	}
+	v := img[imageKeyOff+4 : imageKeyOff+4+16]
+	if i := bytes.IndexByte(v, 0); i >= 0 {
+		v = v[:i]
+	}
+	return string(v)
+}

@@ -1,0 +1,238 @@
+package firmware
+
+import (
+	"encoding/binary"
+
+	"ssdtp/internal/jtag"
+)
+
+// ReadWord returns the 32-bit word at a physical address, as the debug port
+// would fetch it. Unmapped space reads as 0xDEADDEAD (bus error pattern).
+func (f *EVO840) ReadWord(addr uint32) uint32 {
+	switch {
+	case addr >= ROMBase && addr < ROMBase+ROMSize:
+		off := int(addr - ROMBase)
+		if off+4 <= len(f.image) {
+			return binary.LittleEndian.Uint32(f.image[off:])
+		}
+		return 0
+	case addr >= SRAMBase && addr < SRAMBase+SRAMSize:
+		return f.sram[addr&^3]
+	case addr >= MMIOBase && addr < MMIOBase+0x1000:
+		return f.readMMIO(addr - MMIOBase)
+	case addr >= DRAMBase && addr < DRAMBase+DRAMSize:
+		return f.readDRAM(addr)
+	default:
+		return 0xDEAD_DEAD
+	}
+}
+
+// WriteWord stores a word (SRAM only; everything else is read-only from the
+// debug port in this model).
+func (f *EVO840) WriteWord(addr, v uint32) {
+	if addr >= SRAMBase && addr < SRAMBase+SRAMSize {
+		f.sram[addr&^3] = v
+	}
+}
+
+func (f *EVO840) readMMIO(off uint32) uint32 {
+	switch off {
+	case RegFlashPower:
+		// The flash controller powers down when idle (§3.2): powered only
+		// if bus activity happened since the last status read.
+		if f.flashPowered() {
+			return 1
+		}
+		return 0
+	case RegChunksLoaded:
+		return f.loadedCount
+	case RegChunkCount:
+		return uint32(ChunkCount)
+	case RegCoreCount:
+		return Cores
+	case RegChannelCount:
+		return Channels
+	default:
+		return 0
+	}
+}
+
+func (f *EVO840) readDRAM(addr uint32) uint32 {
+	off := addr - DRAMBase
+	switch {
+	case addr >= ArraysBase && addr < ArraysBase+MapArrays*ArrayStride:
+		array := int64(off / ArrayStride)
+		slot := int64(off%ArrayStride) / WordBytes
+		lsn := slot<<3 | array
+		chunk := lsn * SectorSize / ChunkSpanBytes
+		if chunk >= int64(len(f.chunkLoaded)) || !f.chunkLoaded[chunk] {
+			return 0xFFFF_FFFF // chunk not resident
+		}
+		return f.entryFor(lsn)
+	case addr >= PSLCIndexBase && addr < PSLCIndexBase+PSLCIndexSize:
+		return f.readPSLCIndex(addr - PSLCIndexBase)
+	case addr >= ChunkBitmapBase && addr < ChunkBitmapBase+uint32(ChunkCount+7)/8+4:
+		return f.readChunkBitmap(addr - ChunkBitmapBase)
+	default:
+		// Heap/scratch: zero-filled.
+		return 0
+	}
+}
+
+// readPSLCIndex serves the hashed pSLC index: 8-byte buckets of
+// (lsn, entry). Buckets holding live pSLC-resident sectors of the backing
+// device populate; everything else reads empty. The bucket view is cached
+// and invalidated on host traffic.
+func (f *EVO840) readPSLCIndex(off uint32) uint32 {
+	if f.dev == nil {
+		return 0
+	}
+	if f.pslcCache == nil {
+		f.pslcCache = make(map[uint32][2]uint32)
+		for lsn, psn := range f.dev.FTL().PSLCSnapshot(nil) {
+			b := pslcBucketFor(lsn)
+			f.pslcCache[b] = [2]uint32{uint32(lsn) | 0x8000_0000, uint32(psn) | validFlag}
+		}
+	}
+	bucket := off / 8
+	pair, ok := f.pslcCache[bucket]
+	if !ok {
+		return 0
+	}
+	if off%8 < 4 {
+		return pair[0]
+	}
+	return pair[1]
+}
+
+func (f *EVO840) readChunkBitmap(off uint32) uint32 {
+	var w uint32
+	for b := uint32(0); b < 32; b++ {
+		idx := int64(off*8) + int64(b)
+		if idx < int64(len(f.chunkLoaded)) && f.chunkLoaded[idx] {
+			w |= 1 << b
+		}
+	}
+	return w
+}
+
+// samplePC returns the current PC of a core from recent activity; sampling
+// consumes the activity window (the probe polls faster than the workload
+// issues requests, so idle cores read as idle).
+func (f *EVO840) samplePC(core int) uint32 {
+	if core < 0 || core >= Cores {
+		return 0xDEAD_DEAD
+	}
+	if f.halted[core] {
+		return f.haltPC[core]
+	}
+	f.pcJitter = f.pcJitter*1664525 + 1013904223
+	jitter := (f.pcJitter >> 20) & 0xFC
+	switch core {
+	case 0:
+		if f.hostOps > 0 {
+			f.hostOps = 0
+			return PCSATABase + jitter
+		}
+	case 1:
+		if f.parityOps[0] > 0 {
+			f.parityOps[0] = 0
+			return PCChanBase1 + uint32(f.lastChan[1])*PCHandlerLen + jitter
+		}
+	case 2:
+		if f.parityOps[1] > 0 {
+			f.parityOps[1] = 0
+			return PCChanBase2 + uint32(f.lastChan[2]-4)*PCHandlerLen + jitter
+		}
+	}
+	return PCIdleBase + uint32(core)*0x20
+}
+
+// --- jtag.Target implementation ---
+
+// IRWidth implements jtag.Target.
+func (f *EVO840) IRWidth() int { return 4 }
+
+// ResetTAP implements jtag.Target.
+func (f *EVO840) ResetTAP() {
+	f.selCore = 0
+	f.addrReg = 0
+}
+
+// DRWidth implements jtag.Target.
+func (f *EVO840) DRWidth(ir uint64) int {
+	switch ir {
+	case jtag.IRIDCode, jtag.IRDbgAddr, jtag.IRPCSample:
+		return 32
+	case jtag.IRDbgCtrl:
+		return 8
+	case jtag.IRDbgData:
+		return 33
+	default:
+		return 1 // BYPASS
+	}
+}
+
+// CaptureDR implements jtag.Target.
+func (f *EVO840) CaptureDR(ir uint64) uint64 {
+	switch ir {
+	case jtag.IRIDCode:
+		return uint64(IDCode)
+	case jtag.IRDbgCtrl:
+		var st uint64
+		for c := 0; c < Cores; c++ {
+			if f.halted[c] {
+				st |= 1 << uint(c)
+			}
+		}
+		if f.flashPowered() {
+			st |= jtag.StatusFlashPowered
+		}
+		return st
+	case jtag.IRDbgData:
+		return uint64(f.ReadWord(f.addrReg))
+	case jtag.IRPCSample:
+		return uint64(f.samplePC(f.selCore))
+	default:
+		return 0
+	}
+}
+
+// flashPowered reports whether flash activity occurred since the last
+// power-state observation, consuming the window (the controller re-gates
+// its clock when the queue drains).
+func (f *EVO840) flashPowered() bool {
+	if f.busOpsTotal > 0 {
+		f.busOpsTotal = 0
+		return true
+	}
+	return false
+}
+
+// UpdateDR implements jtag.Target.
+func (f *EVO840) UpdateDR(ir uint64, v uint64) {
+	switch ir {
+	case jtag.IRDbgCtrl:
+		f.selCore = int(v & jtag.CtrlCoreMask)
+		if v&jtag.CtrlHaltBit != 0 && f.selCore < Cores && !f.halted[f.selCore] {
+			f.halted[f.selCore] = true
+			f.haltPC[f.selCore] = f.samplePC(f.selCore)
+		}
+		if v&jtag.CtrlResumeBit != 0 && f.selCore < Cores {
+			f.halted[f.selCore] = false
+		}
+		if v&jtag.CtrlStepBit != 0 && f.selCore < Cores && f.halted[f.selCore] {
+			// One ARM instruction: the frozen PC advances a word.
+			f.haltPC[f.selCore] += 4
+		}
+	case jtag.IRDbgAddr:
+		f.addrReg = uint32(v)
+	case jtag.IRDbgData:
+		if v&jtag.DataWriteBit != 0 {
+			f.WriteWord(f.addrReg, uint32(v))
+		}
+		f.addrReg += 4
+	}
+}
+
+var _ jtag.Target = (*EVO840)(nil)

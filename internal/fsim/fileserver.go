@@ -1,0 +1,95 @@
+package fsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ssdtp/internal/sim"
+)
+
+// FileserverResult is one benchmark outcome.
+type FileserverResult struct {
+	FS       string
+	Ops      int64
+	Duration sim.Time
+}
+
+// OpsPerSecond is the fileserver score (simulated time).
+func (r FileserverResult) OpsPerSecond() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / (float64(r.Duration) / float64(sim.Second))
+}
+
+// Clock exposes simulated time to the benchmark; SSD-backed disks advance
+// it as a side effect of I/O.
+type Clock interface {
+	Now() sim.Time
+}
+
+// Fileserver runs a filebench-fileserver-style operation mix against fs for
+// `ops` operations: create-with-write, open-append-close, whole-file read,
+// stat, delete. It reports throughput in simulated ops/second — the metric
+// of the reproduced F2FS experiment (Figure 1 plots the ratio of these
+// scores between file systems).
+func Fileserver(fs FS, clk Clock, ops int64, seed int64) FileserverResult {
+	rng := rand.New(rand.NewSource(seed + 7))
+	start := clk.Now()
+	var done int64
+	serial := 0
+	workset := append([]string(nil), fs.Files()...)
+	for done < ops {
+		switch rng.Intn(10) {
+		case 0, 1: // create with data
+			serial++
+			name := fmt.Sprintf("d%02d/fsrv%07d", serial%20, serial)
+			if fs.Create(name) != nil {
+				break
+			}
+			size := int64(rng.Intn(31)+1) * 4096 // 4-128 KB
+			if fs.Write(name, 0, size) != nil {
+				_ = fs.Delete(name)
+				break
+			}
+			workset = append(workset, name)
+		case 2, 3: // append
+			if len(workset) == 0 {
+				continue
+			}
+			n := workset[rng.Intn(len(workset))]
+			if fs.Append(n, int64(rng.Intn(15)+1)*4096) != nil {
+				continue
+			}
+		case 4, 5, 6: // whole-file read
+			if len(workset) == 0 {
+				continue
+			}
+			n := workset[rng.Intn(len(workset))]
+			info, err := fs.Stat(n)
+			if err != nil {
+				continue
+			}
+			_ = fs.Read(n, 0, info.Size)
+		case 7, 8: // stat (metadata only, no device I/O in this model)
+			if len(workset) == 0 {
+				continue
+			}
+			_, _ = fs.Stat(workset[rng.Intn(len(workset))])
+		case 9: // delete
+			if len(workset) < 8 {
+				continue
+			}
+			i := rng.Intn(len(workset))
+			if fs.Delete(workset[i]) == nil {
+				workset = append(workset[:i], workset[i+1:]...)
+			}
+		}
+		done++
+		if done%256 == 0 {
+			_ = fs.Sync()
+		}
+	}
+	_ = fs.Sync()
+	return FileserverResult{FS: fs.Name(), Ops: done, Duration: clk.Now() - start}
+}

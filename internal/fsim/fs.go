@@ -1,0 +1,51 @@
+package fsim
+
+import "errors"
+
+// BlockSize is the file-system block size for both implementations.
+const BlockSize = 4096
+
+// Common file-system errors.
+var (
+	ErrExists   = errors.New("fsim: file exists")
+	ErrNotFound = errors.New("fsim: file not found")
+	ErrNoSpace  = errors.New("fsim: no space left")
+)
+
+// Info describes a file.
+type Info struct {
+	Name string
+	Size int64
+}
+
+// FS is the interface both file systems implement. Payload bytes are
+// synthesized; what matters for the experiments is the I/O pattern each
+// design produces on the underlying disk.
+type FS interface {
+	// Name identifies the implementation ("extfs" or "logfs").
+	Name() string
+	// Create makes an empty file.
+	Create(name string) error
+	// Write (over)writes [off, off+n) of the file, extending it if needed.
+	Write(name string, off, n int64) error
+	// Append extends the file by n bytes.
+	Append(name string, n int64) error
+	// Read fetches [off, off+n) of the file.
+	Read(name string, off, n int64) error
+	// Delete removes the file and frees its space.
+	Delete(name string) error
+	// Stat returns file metadata.
+	Stat(name string) (Info, error)
+	// Files lists file names (order unspecified).
+	Files() []string
+	// Sync flushes pending state to the disk.
+	Sync() error
+	// UsedBytes returns live data volume; CapacityBytes the usable total.
+	UsedBytes() int64
+	CapacityBytes() int64
+}
+
+// blocks returns how many blocks cover n bytes.
+func blocks(n int64) int64 {
+	return (n + BlockSize - 1) / BlockSize
+}

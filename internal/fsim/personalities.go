@@ -1,0 +1,100 @@
+package fsim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Varmail runs a filebench-varmail-style mix: small mail files created,
+// appended and fsynced constantly, read back, and deleted. The sync-per-op
+// pattern is the classic metadata-heavy stressor — the workload where
+// journaling and log-structured designs diverge most.
+func Varmail(fs FS, clk Clock, ops int64, seed int64) FileserverResult {
+	rng := rand.New(rand.NewSource(seed + 31))
+	start := clk.Now()
+	var done int64
+	serial := 0
+	var box []string
+	for done < ops {
+		switch rng.Intn(8) {
+		case 0, 1, 2: // deliver: create + write + fsync
+			serial++
+			name := fmt.Sprintf("box%02d/mail%07d", serial%16, serial)
+			if fs.Create(name) != nil {
+				break
+			}
+			if fs.Write(name, 0, int64(rng.Intn(3)+1)*4096) != nil {
+				_ = fs.Delete(name)
+				break
+			}
+			_ = fs.Sync()
+			box = append(box, name)
+		case 3, 4: // re-read a message
+			if len(box) == 0 {
+				continue
+			}
+			n := box[rng.Intn(len(box))]
+			if info, err := fs.Stat(n); err == nil {
+				_ = fs.Read(n, 0, info.Size)
+			}
+		case 5: // append (flag update) + fsync
+			if len(box) == 0 {
+				continue
+			}
+			_ = fs.Append(box[rng.Intn(len(box))], 4096)
+			_ = fs.Sync()
+		default: // delete
+			if len(box) < 16 {
+				continue
+			}
+			i := rng.Intn(len(box))
+			if fs.Delete(box[i]) == nil {
+				box = append(box[:i], box[i+1:]...)
+			}
+		}
+		done++
+	}
+	_ = fs.Sync()
+	return FileserverResult{FS: fs.Name(), Ops: done, Duration: clk.Now() - start}
+}
+
+// Webserver runs a filebench-webserver-style mix: whole-file reads of a
+// static working set, with an append-only access log — read throughput with
+// a thin write stream.
+func Webserver(fs FS, clk Clock, ops int64, seed int64) FileserverResult {
+	rng := rand.New(rand.NewSource(seed + 47))
+	// Build the document set if absent.
+	docs := fs.Files()
+	if len(docs) < 32 {
+		for i := 0; i < 64; i++ {
+			name := fmt.Sprintf("site%d/doc%05d", i%8, i)
+			if fs.Create(name) == nil {
+				if fs.Write(name, 0, int64(rng.Intn(31)+1)*4096) == nil {
+					docs = append(docs, name)
+				} else {
+					_ = fs.Delete(name)
+				}
+			}
+		}
+		_ = fs.Create("access.log")
+		_ = fs.Sync()
+	}
+	start := clk.Now()
+	var done int64
+	for done < ops {
+		if rng.Intn(10) == 0 {
+			_ = fs.Append("access.log", 4096)
+		} else if len(docs) > 0 {
+			n := docs[rng.Intn(len(docs))]
+			if info, err := fs.Stat(n); err == nil {
+				_ = fs.Read(n, 0, info.Size)
+			}
+		}
+		done++
+		if done%512 == 0 {
+			_ = fs.Sync()
+		}
+	}
+	_ = fs.Sync()
+	return FileserverResult{FS: fs.Name(), Ops: done, Duration: clk.Now() - start}
+}

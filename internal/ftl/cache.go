@@ -1,0 +1,217 @@
+package ftl
+
+// entryState is a cache entry's lifecycle.
+type entryState uint8
+
+const (
+	entryDirty    entryState = iota // newest copy lives in RAM, awaiting flush
+	entryFlushing                   // a page program carrying this copy is in flight
+	entryDead                       // trimmed or superseded object; skip on pop
+)
+
+// cacheEntry is one logical sector resident in the write cache.
+type cacheEntry struct {
+	lsn    int64
+	state  entryState
+	flight *pageOp // the program carrying this copy when entryFlushing
+}
+
+// writeCache implements the data-cache designation: a FIFO write-back cache
+// with admission backpressure. It holds no payload bytes (content fidelity
+// lives at the device layer); it tracks which sectors are dirty and when
+// they flush, which is all the timing and write-amplification models need.
+type writeCache struct {
+	capBytes   int
+	flushWater int
+	sector     int
+
+	entries map[int64]*cacheEntry
+	fifo    []*cacheEntry // dirty entries in arrival order (stale nodes skipped)
+
+	dirtyCount    int
+	dirtyBytes    int
+	flushingBytes int
+	inflight      int // cache-flush page programs in flight
+
+	admitWaiters []func()
+}
+
+func newWriteCache(capBytes, sector int) *writeCache {
+	if capBytes <= 0 {
+		capBytes = 16 * sector // degenerate but functional minimum
+	}
+	return &writeCache{
+		capBytes:   capBytes,
+		flushWater: capBytes * 3 / 4,
+		sector:     sector,
+		entries:    make(map[int64]*cacheEntry),
+	}
+}
+
+// overCommitted reports whether admissions should stall.
+func (c *writeCache) overCommitted() bool {
+	return c.dirtyBytes+c.flushingBytes > c.capBytes
+}
+
+// drop removes lsn from the cache (TRIM). A flushing copy is marked dead so
+// its commit discards the programmed slot.
+func (c *writeCache) drop(lsn int64) {
+	e, ok := c.entries[lsn]
+	if !ok {
+		return
+	}
+	delete(c.entries, lsn)
+	switch e.state {
+	case entryDirty:
+		c.dirtyBytes -= c.sector
+		c.dirtyCount--
+	case entryFlushing:
+		// flushingBytes released at commit.
+	}
+	e.state = entryDead
+}
+
+// writeCached admits a host write into the data cache, completing after
+// DRAM latency unless the cache is over-committed (backpressure), in which
+// case completion waits for flush progress.
+func (f *FTL) writeCached(lsn int64, count int, done func()) {
+	c := f.cache
+	for s := int64(0); s < int64(count); s++ {
+		l := lsn + s
+		if e, ok := c.entries[l]; ok {
+			f.counters.CacheHits++
+			if e.state == entryFlushing {
+				// Supersede the in-flight copy: this entry becomes dirty
+				// again; the flying program's slot will be dead on commit.
+				e.state = entryDirty
+				e.flight = nil
+				c.fifo = append(c.fifo, e)
+				c.dirtyBytes += c.sector
+				c.dirtyCount++
+			}
+			continue
+		}
+		e := &cacheEntry{lsn: l, state: entryDirty}
+		c.entries[l] = e
+		c.fifo = append(c.fifo, e)
+		c.dirtyBytes += c.sector
+		c.dirtyCount++
+	}
+	f.maybeFlushCache()
+	if c.overCommitted() {
+		c.admitWaiters = append(c.admitWaiters, done)
+		return
+	}
+	f.eng.Schedule(cacheLatency, func() {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// maybeFlushCache starts eviction flushes while the cache is above its flush
+// watermark.
+func (f *FTL) maybeFlushCache() {
+	c := f.cache
+	for c.dirtyBytes > c.flushWater && c.inflight < maxFlushInflight && c.dirtyCount > 0 {
+		f.counters.CacheEvictions++
+		f.startCacheFlush()
+	}
+}
+
+// popDirty removes and returns the oldest dirty entry, skipping stale nodes.
+func (c *writeCache) popDirty() *cacheEntry {
+	for len(c.fifo) > 0 {
+		e := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		if e.state == entryDirty && c.entries[e.lsn] == e {
+			return e
+		}
+	}
+	return nil
+}
+
+// startCacheFlush batches up to a page worth of oldest dirty sectors into
+// one program (padding a short tail) and submits it.
+func (f *FTL) startCacheFlush() {
+	c := f.cache
+	lsns := make([]int64, f.secPerPage)
+	entries := make([]*cacheEntry, f.secPerPage)
+	n := 0
+	for n < f.secPerPage {
+		e := c.popDirty()
+		if e == nil {
+			break
+		}
+		e.state = entryFlushing
+		c.dirtyBytes -= c.sector
+		c.dirtyCount--
+		c.flushingBytes += c.sector
+		lsns[n] = e.lsn
+		entries[n] = e
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	for i := n; i < f.secPerPage; i++ {
+		lsns[i] = -1
+	}
+	c.inflight++
+	op := &pageOp{kind: kindData, lsns: lsns, entries: entries, pu: f.nextPU()}
+	op.slc = f.takePSLCCredit()
+	op.done = func() {
+		c.inflight--
+		f.maybeFlushCache()
+		f.releaseAdmitWaiters()
+	}
+	for _, e := range entries {
+		if e != nil {
+			e.flight = op
+		}
+	}
+	f.submitPage(op)
+}
+
+// commitCachedSector finalizes one slot of a cache-flush program.
+func (f *FTL) commitCachedSector(e *cacheEntry, op *pageOp, lsn, psn int64) {
+	c := f.cache
+	c.flushingBytes -= c.sector
+	if e.state == entryFlushing && e.flight == op {
+		// This copy is still the newest: install it and retire the entry.
+		e.state = entryDead
+		e.flight = nil
+		delete(c.entries, lsn)
+		f.commitMapping(lsn, psn)
+		if op.slc && f.pslcIndex != nil {
+			f.pslcIndex[lsn] = psn
+		}
+		return
+	}
+	// Superseded (re-dirtied) or trimmed while in flight: dead on arrival.
+	f.p2l[psn] = psnFree
+}
+
+// releaseAdmitWaiters completes stalled host writes once the cache is back
+// under its commit limit.
+func (f *FTL) releaseAdmitWaiters() {
+	c := f.cache
+	for len(c.admitWaiters) > 0 && !c.overCommitted() {
+		done := c.admitWaiters[0]
+		copy(c.admitWaiters, c.admitWaiters[1:])
+		c.admitWaiters = c.admitWaiters[:len(c.admitWaiters)-1]
+		f.eng.Schedule(cacheLatency, func() {
+			if done != nil {
+				done()
+			}
+		})
+	}
+}
+
+// cacheDirtySectors is exposed for tests and drain logic.
+func (f *FTL) cacheDirtySectors() int {
+	if f.cache == nil {
+		return 0
+	}
+	return f.cache.dirtyCount
+}

@@ -1,0 +1,50 @@
+package ftl
+
+// Counters aggregates everything the FTL does. The ssd layer converts these
+// raw counts into the S.M.A.R.T. attribute units a host can see; experiments
+// may also read them directly as ground truth to quantify how much a
+// black-box view misses.
+type Counters struct {
+	// Host-visible traffic.
+	HostWriteRequests  int64
+	HostReadRequests   int64
+	HostSectorsWritten int64
+	HostSectorsRead    int64
+	TrimmedSectors     int64
+
+	// Cache behaviour.
+	CacheHits      int64 // overwrites absorbed while dirty or flushing
+	CacheReadHits  int64
+	CacheEvictions int64 // pages flushed due to pressure (not Flush())
+
+	// Flash programs by origin.
+	DataPagesProgrammed   int64 // pages carrying host data
+	GCPagesProgrammed     int64 // relocation output pages
+	MapPagesProgrammed    int64 // mapping-journal pages
+	ParityPagesProgrammed int64 // RAIN parity pages
+	PSLCPagesProgrammed   int64 // programs into the pseudo-SLC buffer
+
+	// Flash reads by origin.
+	PageReads   int64 // host-demand reads
+	GCPageReads int64 // relocation input reads
+	MountReads  int64 // boot-time mapping-table reads
+
+	// Block lifecycle.
+	Erases        int64
+	GCRuns        int64 // victim blocks collected
+	GCValidMoved  int64 // valid sectors relocated
+	PaddedSectors int64 // invalid-at-birth slots in programmed pages
+
+	// Reliability management.
+	ScrubReads             int64 // idle patrol reads
+	RefreshPagesProgrammed int64 // correct-and-refresh relocations
+	UncorrectableReads     int64 // reads past the ECC limit
+	GrownBadBlocks         int64 // blocks retired after program/erase failure
+	WearLevelRelocations   int64 // cold blocks recycled by static wear leveling
+}
+
+// PagesProgrammed returns total pages programmed across all origins.
+func (c Counters) PagesProgrammed() int64 {
+	return c.DataPagesProgrammed + c.GCPagesProgrammed + c.MapPagesProgrammed +
+		c.ParityPagesProgrammed + c.PSLCPagesProgrammed + c.RefreshPagesProgrammed
+}

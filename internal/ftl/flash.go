@@ -1,0 +1,32 @@
+package ftl
+
+import "ssdtp/internal/nand"
+
+// Flash is the array abstraction the FTL drives: a grid of channels × chips,
+// each chip with the same geometry. Implementations sequence operations in
+// simulated time (the ssd package provides one backed by onfi buses; tests
+// use lightweight fakes). Payload bytes are not carried here — content
+// fidelity lives at the device layer; the FTL decides placement and pays
+// timing.
+type Flash interface {
+	// Geometry returns the per-chip layout.
+	Geometry() nand.Geometry
+	// Channels returns the channel count.
+	Channels() int
+	// ChipsPerChannel returns chips per channel.
+	ChipsPerChannel() int
+	// Read performs a page read; done fires when the payload would have
+	// transferred, carrying the raw bit-error count the controller's ECC
+	// engine would report (0 when the implementation does not model
+	// reliability). A priority read may suspend an in-progress background
+	// program on the target die instead of queueing behind it.
+	Read(ch, chip int, a nand.Addr, priority bool, done func(bitErrors int, err error))
+	// Program performs a page program; slc selects pseudo-SLC timing if the
+	// implementation supports it; background marks the array phase
+	// suspendable by priority reads (relocation/refresh traffic). done(err)
+	// fires when the array operation completes.
+	Program(ch, chip int, a nand.Addr, slc, background bool, done func(error))
+	// Erase erases the block containing a; background marks it suspendable
+	// by priority reads (erase-suspend).
+	Erase(ch, chip int, a nand.Addr, background bool, done func(error))
+}

@@ -1,0 +1,603 @@
+package ftl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ssdtp/internal/nand"
+	"ssdtp/internal/sim"
+)
+
+// Sentinel p2l values for physical sectors not holding live host data.
+const (
+	psnFree    int64 = -1 // never written, invalidated, or padding
+	psnParity  int64 = -2 // RAIN parity
+	psnMapMeta int64 = -3 // mapping-journal payload
+)
+
+// cacheLatency is the host-visible cost of a DRAM cache hit/insert.
+const cacheLatency = 2 * sim.Microsecond
+
+// maxFlushInflight bounds concurrent cache-eviction page programs.
+const maxFlushInflight = 8
+
+// stagingBytes is the small volatile write FIFO a controller retains even
+// when its DRAM is designated for mapping metadata (CacheMapping).
+const stagingBytes = 256 * 1024
+
+// pageKind labels the origin of a page program.
+type pageKind int
+
+const (
+	kindData pageKind = iota
+	kindGC
+	kindMap
+	kindParity
+	kindRefresh
+)
+
+// pageOp is one pending page program: which logical sectors it carries (or
+// padding), where it goes, and what to do on commit.
+type pageOp struct {
+	kind    pageKind
+	lsns    []int64       // per slot; <0 means padding/metadata
+	old     []int64       // kindGC: expected current psn per slot
+	entries []*cacheEntry // kindData via cache: entry per slot (nil slots padded)
+	pu      int
+	slc     bool
+	done    func()
+}
+
+// FTL is one flash translation layer instance. It is single-threaded on the
+// simulation engine: all methods must be called from engine context (or
+// before the engine runs), and all completions fire there.
+type FTL struct {
+	eng   *sim.Engine
+	flash Flash
+	cfg   Config
+	g     nand.Geometry
+	rng   *rand.Rand
+
+	secPerPage  int
+	pagesPerBlk int
+	blksPerPU   int
+	numPU       int
+
+	dims      [4]int // sizes by dimension constant
+	orderDims [4]int // dimensions fastest-varying first
+	allocSeq  int64
+	puTotal   int64
+
+	logicalSectors int64
+	l2p            []int64
+	p2l            []int64
+	blockValid     []int32
+	blockInflight  []int32
+	blockErases    []int32
+	validTotal     int64
+
+	pus []puState
+
+	cache *writeCache // nil when cfg.Cache == CacheNone
+
+	// RAIN stripe progress (data pages since last parity).
+	stripeProgress int
+
+	// Mapping-journal state.
+	entriesPerMapPage int64
+	journalThreshold  int64
+	mapUpdates        int64
+
+	// Pseudo-SLC accounting overlay.
+	pslcCredits int64
+	pslcIndex   map[int64]int64 // lsn -> psn for data resident via pSLC path
+
+	// inflightPages counts host-origin page programs (data, map journal,
+	// parity); inflightGC counts relocation programs. Flush drains wait on
+	// the former only — garbage collection is background work a FLUSH
+	// command does not (and must not, or it could block indefinitely on a
+	// full drive) wait out.
+	inflightPages int64
+	inflightGC    int64
+	inflightReads int64
+	drainWaiters  []func()
+
+	idleEvent  *sim.Event
+	idleStreak int
+
+	// Reliability management state.
+	refreshing map[int64]bool // ppn -> refresh in flight
+	badBlocks  map[int64]bool // global block -> retired
+
+	// yieldedGC holds parked collection continuations (GCYield mode).
+	yieldedGC []func()
+
+	counters Counters
+}
+
+// Dimension indices for allocation orders.
+const (
+	dimC = iota
+	dimW
+	dimD
+	dimP
+)
+
+// New builds an FTL over flash with the given configuration. It panics on
+// invalid configuration or on a flash/config geometry mismatch: both are
+// construction-time programming errors.
+func New(eng *sim.Engine, flash Flash, cfg Config) *FTL {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	g := flash.Geometry()
+	if g != cfg.Geometry {
+		panic("ftl: flash geometry does not match config geometry")
+	}
+	f := &FTL{
+		eng:         eng,
+		flash:       flash,
+		cfg:         cfg,
+		g:           g,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		secPerPage:  g.PageSize / cfg.SectorSize,
+		pagesPerBlk: g.PagesPerBlock,
+		blksPerPU:   g.BlocksPerPlane,
+	}
+	f.dims = [4]int{
+		dimC: flash.Channels(),
+		dimW: flash.ChipsPerChannel(),
+		dimD: g.Dies,
+		dimP: g.Planes,
+	}
+	f.numPU = f.dims[dimC] * f.dims[dimW] * f.dims[dimD] * f.dims[dimP]
+	f.puTotal = int64(f.numPU)
+	switch cfg.Alloc {
+	case AllocCWDP:
+		f.orderDims = [4]int{dimC, dimW, dimD, dimP}
+	case AllocPDWC:
+		f.orderDims = [4]int{dimP, dimD, dimW, dimC}
+	case AllocWDPC:
+		f.orderDims = [4]int{dimW, dimD, dimP, dimC}
+	case AllocDPCW:
+		f.orderDims = [4]int{dimD, dimP, dimC, dimW}
+	default:
+		panic("ftl: unknown allocation order")
+	}
+
+	totalPages := int64(f.numPU) * int64(f.blksPerPU) * int64(f.pagesPerBlk)
+	totalSectors := totalPages * int64(f.secPerPage)
+	logical := int64(float64(totalSectors) * (1 - cfg.OverProvision))
+	logical -= logical % int64(f.secPerPage)
+	f.logicalSectors = logical
+
+	f.l2p = make([]int64, logical)
+	for i := range f.l2p {
+		f.l2p[i] = psnFree
+	}
+	f.p2l = make([]int64, totalSectors)
+	for i := range f.p2l {
+		f.p2l[i] = psnFree
+	}
+	totalBlocks := int64(f.numPU) * int64(f.blksPerPU)
+	f.blockValid = make([]int32, totalBlocks)
+	f.blockInflight = make([]int32, totalBlocks)
+	f.blockErases = make([]int32, totalBlocks)
+
+	f.pus = make([]puState, f.numPU)
+	for i := range f.pus {
+		pu := &f.pus[i]
+		pu.index = i
+		ch, chip, die, plane := f.puCoords(i)
+		pu.ch, pu.chip, pu.die, pu.plane = ch, chip, die, plane
+		pu.free = make([]int32, 0, f.blksPerPU)
+		for b := f.blksPerPU - 1; b >= 0; b-- {
+			pu.free = append(pu.free, int32(b))
+		}
+	}
+
+	switch cfg.Cache {
+	case CacheData:
+		f.cache = newWriteCache(cfg.CacheBytes, cfg.SectorSize)
+	case CacheMapping:
+		f.cache = newWriteCache(stagingBytes, cfg.SectorSize)
+	}
+
+	f.entriesPerMapPage = int64(g.PageSize / cfg.MapEntryBytes)
+	switch cfg.Cache {
+	case CacheMapping:
+		th := int64(cfg.CacheBytes) / int64(cfg.MapEntryBytes)
+		if th < f.entriesPerMapPage {
+			th = f.entriesPerMapPage
+		}
+		f.journalThreshold = th
+	default:
+		f.journalThreshold = f.entriesPerMapPage
+	}
+
+	if cfg.PSLCBytes > 0 {
+		f.pslcCredits = int64(cfg.PSLCBytes)
+		f.pslcIndex = make(map[int64]int64)
+	}
+	return f
+}
+
+// Config returns the (defaulted) configuration in effect.
+func (f *FTL) Config() Config { return f.cfg }
+
+// LogicalSectors returns the host-visible sector count.
+func (f *FTL) LogicalSectors() int64 { return f.logicalSectors }
+
+// SectorSize returns the logical sector size in bytes.
+func (f *FTL) SectorSize() int { return f.cfg.SectorSize }
+
+// Counters returns a copy of the FTL's counters.
+func (f *FTL) Counters() Counters { return f.counters }
+
+// MapEntry returns the physical sector the logical sector maps to, or -1 if
+// unmapped. The firmware package exposes this table through simulated DRAM.
+func (f *FTL) MapEntry(lsn int64) int64 {
+	if lsn < 0 || lsn >= f.logicalSectors {
+		return psnFree
+	}
+	return f.l2p[lsn]
+}
+
+// PSLCResident returns how many logical sectors are indexed as pSLC-resident.
+func (f *FTL) PSLCResident() int { return len(f.pslcIndex) }
+
+// PSLCSnapshot copies the pSLC residency index (lsn -> psn) into dst
+// (allocated if nil) and returns it. The firmware package materializes the
+// 840 EVO's hashed pSLC index from this.
+func (f *FTL) PSLCSnapshot(dst map[int64]int64) map[int64]int64 {
+	if dst == nil {
+		dst = make(map[int64]int64, len(f.pslcIndex))
+	}
+	for k, v := range f.pslcIndex {
+		dst[k] = v
+	}
+	return dst
+}
+
+// FreeBlocks returns the total free-block count across parallel units.
+func (f *FTL) FreeBlocks() int {
+	n := 0
+	for i := range f.pus {
+		n += len(f.pus[i].free)
+	}
+	return n
+}
+
+// ValidSectors returns the number of live mapped sectors on flash (excluding
+// dirty cache contents).
+func (f *FTL) ValidSectors() int64 { return f.validTotal }
+
+// puCoords decomposes a PU index into (channel, chip, die, plane) using the
+// canonical channel-major layout.
+func (f *FTL) puCoords(idx int) (ch, chip, die, plane int) {
+	plane = idx % f.dims[dimP]
+	idx /= f.dims[dimP]
+	die = idx % f.dims[dimD]
+	idx /= f.dims[dimD]
+	chip = idx % f.dims[dimW]
+	idx /= f.dims[dimW]
+	return idx, chip, die, plane
+}
+
+// puIndex composes the canonical PU index.
+func (f *FTL) puIndex(ch, chip, die, plane int) int {
+	return ((ch*f.dims[dimW]+chip)*f.dims[dimD]+die)*f.dims[dimP] + plane
+}
+
+// puForSeq maps an allocation sequence number to a PU per the configured
+// allocation order (fastest-varying dimension first).
+func (f *FTL) puForSeq(seq int64) int {
+	s := seq % f.puTotal
+	var coord [4]int
+	for _, d := range f.orderDims {
+		coord[d] = int(s % int64(f.dims[d]))
+		s /= int64(f.dims[d])
+	}
+	return f.puIndex(coord[dimC], coord[dimW], coord[dimD], coord[dimP])
+}
+
+// nextPU advances the striping sequence and returns the PU for the next page.
+func (f *FTL) nextPU() int {
+	pu := f.puForSeq(f.allocSeq)
+	f.allocSeq++
+	return pu
+}
+
+// Geometry helpers over global physical sector/page/block numbering.
+
+func (f *FTL) ppnOf(pu int, blk int32, page int) int64 {
+	pagesPerPU := int64(f.blksPerPU) * int64(f.pagesPerBlk)
+	return int64(pu)*pagesPerPU + int64(blk)*int64(f.pagesPerBlk) + int64(page)
+}
+
+func (f *FTL) blockOfPsn(psn int64) int64 {
+	return psn / int64(f.secPerPage) / int64(f.pagesPerBlk)
+}
+
+func (f *FTL) addrOfPPN(ppn int64) (pu int, a nand.Addr) {
+	pagesPerPU := int64(f.blksPerPU) * int64(f.pagesPerBlk)
+	pu = int(ppn / pagesPerPU)
+	rem := ppn % pagesPerPU
+	p := &f.pus[pu]
+	a = nand.Addr{
+		Die:   p.die,
+		Plane: p.plane,
+		Block: int(rem / int64(f.pagesPerBlk)),
+		Page:  int(rem % int64(f.pagesPerBlk)),
+	}
+	return pu, a
+}
+
+// scheduleDone completes a request after DRAM-path latency, tolerating nil
+// callbacks.
+func (f *FTL) scheduleDone(done func()) {
+	f.eng.Schedule(cacheLatency, func() {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// checkRange validates a host sector range.
+func (f *FTL) checkRange(lsn int64, count int) error {
+	if lsn < 0 || count < 0 || lsn+int64(count) > f.logicalSectors {
+		return fmt.Errorf("ftl: sector range [%d,+%d) outside logical space %d", lsn, count, f.logicalSectors)
+	}
+	return nil
+}
+
+// Write submits a host write of count sectors starting at lsn; done fires
+// when the request is durable per the cache designation (admitted to the
+// data cache, or programmed to flash). The returned error covers only
+// immediate argument problems.
+func (f *FTL) Write(lsn int64, count int, done func()) error {
+	if err := f.checkRange(lsn, count); err != nil {
+		return err
+	}
+	f.touchIdle()
+	f.counters.HostWriteRequests++
+	f.counters.HostSectorsWritten += int64(count)
+	if count == 0 {
+		f.scheduleDone(done)
+		return nil
+	}
+	if f.cache != nil {
+		f.writeCached(lsn, count, done)
+	} else {
+		f.writeDirect(lsn, count, done)
+	}
+	return nil
+}
+
+// writeDirect (mapping-cache designation) coalesces only within the request:
+// sectors group into pages, the tail page is padded, and the request
+// completes when every page program has committed.
+func (f *FTL) writeDirect(lsn int64, count int, done func()) {
+	pages := (count + f.secPerPage - 1) / f.secPerPage
+	pending := pages
+	for p := 0; p < pages; p++ {
+		lsns := make([]int64, f.secPerPage)
+		for i := range lsns {
+			s := int(int64(p)*int64(f.secPerPage)) + i
+			if s < count {
+				lsns[i] = lsn + int64(s)
+			} else {
+				lsns[i] = -1
+			}
+		}
+		op := &pageOp{kind: kindData, lsns: lsns, pu: f.nextPU()}
+		op.slc = f.takePSLCCredit()
+		op.done = func() {
+			pending--
+			if pending == 0 && done != nil {
+				done()
+			}
+		}
+		f.submitPage(op)
+	}
+}
+
+// Read submits a host read; done fires when all sectors are available
+// (cache hits cost DRAM latency; misses pay flash page reads, deduplicated
+// per physical page). Unmapped sectors read as zeros instantly.
+func (f *FTL) Read(lsn int64, count int, done func()) error {
+	if err := f.checkRange(lsn, count); err != nil {
+		return err
+	}
+	f.touchIdle()
+	f.counters.HostReadRequests++
+	f.counters.HostSectorsRead += int64(count)
+	pages := make(map[int64]struct{})
+	for s := int64(0); s < int64(count); s++ {
+		l := lsn + s
+		if f.cache != nil {
+			if _, ok := f.cache.entries[l]; ok {
+				f.counters.CacheReadHits++
+				continue
+			}
+		}
+		psn := f.l2p[l]
+		if psn < 0 {
+			continue
+		}
+		pages[psn/int64(f.secPerPage)] = struct{}{}
+	}
+	if len(pages) == 0 {
+		f.scheduleDone(done)
+		return nil
+	}
+	pending := len(pages)
+	for ppn := range pages {
+		ppn := ppn
+		pu, a := f.addrOfPPN(ppn)
+		p := &f.pus[pu]
+		f.counters.PageReads++
+		f.inflightReads++
+		f.flash.Read(p.ch, p.chip, a, f.cfg.GCSuspend, func(bits int, _ error) {
+			f.inflightReads--
+			f.applyReadHealth(ppn, bits)
+			if f.cfg.GCYield && f.inflightReads == 0 {
+				f.resumeYieldedGC()
+			}
+			pending--
+			if pending == 0 && done != nil {
+				done()
+			}
+		})
+	}
+	return nil
+}
+
+// Trim unmaps a sector range (TRIM/discard). It is immediate: no flash
+// traffic beyond eventual journaling of the mapping updates.
+func (f *FTL) Trim(lsn int64, count int) error {
+	if err := f.checkRange(lsn, count); err != nil {
+		return err
+	}
+	f.touchIdle()
+	for s := int64(0); s < int64(count); s++ {
+		l := lsn + s
+		if f.cache != nil {
+			f.cache.drop(l)
+		}
+		if psn := f.l2p[l]; psn >= 0 {
+			f.invalidate(psn)
+			f.l2p[l] = psnFree
+			f.noteMapUpdate()
+		}
+		delete(f.pslcIndex, l)
+		f.counters.TrimmedSectors++
+	}
+	return nil
+}
+
+// Flush drains the write cache, journals residual mapping updates, closes
+// the open RAIN stripe with a parity page, and calls done once everything
+// (including any garbage collection those writes triggered) has settled.
+func (f *FTL) Flush(done func()) {
+	f.drainWaiters = append(f.drainWaiters, done)
+	f.pumpDrain()
+}
+
+// pumpDrain advances the drain state machine. Called whenever in-flight work
+// completes.
+func (f *FTL) pumpDrain() {
+	if len(f.drainWaiters) == 0 {
+		return
+	}
+	if f.cache != nil {
+		for f.cache.dirtyCount > 0 && f.cache.inflight < maxFlushInflight {
+			f.startCacheFlush()
+		}
+		if f.cache.dirtyCount > 0 || f.cache.inflight > 0 {
+			return
+		}
+	}
+	if f.inflightPages > 0 {
+		return
+	}
+	// Journal residual mapping updates only once relocation traffic has
+	// settled: garbage collection dirties the map continuously, and a
+	// FLUSH that chased those updates could never complete on a busy
+	// drive.
+	if f.mapUpdates > 0 && f.inflightGC == 0 {
+		f.journalResidual()
+		return // re-pumped when the journal pages commit
+	}
+	if f.inflightGC > 0 {
+		return
+	}
+	if f.cfg.RAIN.Enabled() && f.stripeProgress > 0 {
+		f.writeParity()
+		return
+	}
+	ws := f.drainWaiters
+	f.drainWaiters = nil
+	for _, w := range ws {
+		if w != nil {
+			w()
+		}
+	}
+}
+
+// invalidate marks a physical sector dead and updates block accounting.
+func (f *FTL) invalidate(psn int64) {
+	f.p2l[psn] = psnFree
+	f.blockValid[f.blockOfPsn(psn)]--
+	f.validTotal--
+}
+
+// commitMapping installs lsn -> psn, invalidating any prior location.
+func (f *FTL) commitMapping(lsn, psn int64) {
+	if old := f.l2p[lsn]; old >= 0 {
+		f.invalidate(old)
+	}
+	f.l2p[lsn] = psn
+	f.p2l[psn] = lsn
+	f.blockValid[f.blockOfPsn(psn)]++
+	f.validTotal++
+	f.noteMapUpdate()
+}
+
+// takePSLCCredit consumes one page worth of pseudo-SLC budget if available.
+func (f *FTL) takePSLCCredit() bool {
+	if f.pslcCredits < int64(f.g.PageSize) {
+		return false
+	}
+	f.pslcCredits -= int64(f.g.PageSize)
+	return true
+}
+
+// touchIdle resets the idle timer; with IdleGC enabled, a quiet period
+// triggers background collection (the "unpredictable background operations"
+// of §2.1).
+func (f *FTL) touchIdle() {
+	if !f.cfg.IdleGC {
+		return
+	}
+	if f.idleEvent != nil {
+		f.idleEvent.Cancel()
+	}
+	f.idleStreak = 0
+	f.idleEvent = f.eng.Schedule(f.cfg.IdleDelay, f.idleTick)
+}
+
+// idlePatrolCap bounds how long the idle patrol keeps rescheduling itself
+// with exponential backoff before going quiet until the next host activity:
+// backoff doubles from IdleDelay to ~30 simulated minutes, then a fixed
+// number of long-period patrols cover several further hours. The cap keeps
+// the event queue finite so simulations drain.
+const idlePatrolCap = 40
+
+// idleTick runs opportunistic background work: replenish pSLC credits and
+// collect toward high water everywhere.
+func (f *FTL) idleTick() {
+	f.idleEvent = nil
+	if f.cfg.PSLCBytes > 0 {
+		f.pslcCredits = int64(f.cfg.PSLCBytes)
+	}
+	f.scrubTick()
+	for i := range f.pus {
+		pu := &f.pus[i]
+		if len(pu.free) < f.cfg.GCHighWater {
+			f.maybeStartGC(pu, true)
+		}
+		f.maybeWearLevel(pu)
+	}
+	// Re-arm the patrol with exponential backoff while the host stays
+	// quiet, so retention aging is caught hours into an idle period.
+	if f.idleStreak < idlePatrolCap {
+		delay := f.cfg.IdleDelay << uint(f.idleStreak)
+		if max := int64(30 * 60 * sim.Second); delay > max {
+			delay = max
+		}
+		f.idleStreak++
+		f.idleEvent = f.eng.Schedule(delay, f.idleTick)
+	}
+}

@@ -1,0 +1,242 @@
+package ftl
+
+import "ssdtp/internal/nand"
+
+// maybeStartGC kicks off a collection loop on pu when free space is below
+// the low-water mark (or unconditionally for background collection when
+// force is set and the PU is below high water).
+func (f *FTL) maybeStartGC(pu *puState, force bool) {
+	if pu.gcRunning {
+		return
+	}
+	if !force && len(pu.free) >= f.cfg.GCLowWater {
+		return
+	}
+	// Open-channel-style hosts schedule collection around foreground work;
+	// only an empty free list overrides the yield.
+	if f.cfg.GCYield && !force && f.hostActive() && len(pu.free) > hostReserveBlocks {
+		return
+	}
+	pu.gcRunning = true
+	f.gcStep(pu)
+}
+
+// hostActive reports whether latency-critical foreground work is pending —
+// the signal a host-side FTL has and a device-side one lacks. That means
+// host reads (which block the application) and stalled write admissions;
+// buffered writeback is itself background work and does not count.
+func (f *FTL) hostActive() bool {
+	if f.inflightReads > 0 {
+		return true
+	}
+	return f.cache != nil && len(f.cache.admitWaiters) > 0
+}
+
+// gcYieldPoint parks cont and reports true when a yielding FTL should step
+// aside for foreground traffic. Parked continuations resume from
+// resumeYieldedGC once the queue drains.
+func (f *FTL) gcYieldPoint(pu *puState, cont func()) bool {
+	if !f.cfg.GCYield || !f.hostActive() || len(pu.free) <= hostReserveBlocks {
+		return false
+	}
+	f.yieldedGC = append(f.yieldedGC, cont)
+	return true
+}
+
+// resumeYieldedGC re-dispatches parked collection work (each continuation
+// re-checks the yield condition itself).
+func (f *FTL) resumeYieldedGC() {
+	if len(f.yieldedGC) == 0 {
+		return
+	}
+	conts := f.yieldedGC
+	f.yieldedGC = nil
+	for _, c := range conts {
+		c()
+	}
+}
+
+// gcStep collects one victim block, then re-evaluates. The loop ends when
+// the PU reaches high water or no collectable block exists (all candidates
+// busy or none closed yet — commits re-arm collection).
+func (f *FTL) gcStep(pu *puState) {
+	if len(pu.free) >= f.cfg.GCHighWater {
+		pu.gcRunning = false
+		return
+	}
+	// A yielding (host-scheduled) FTL pauses between victims as soon as
+	// foreground work appears; it resumes when the queue drains.
+	if f.cfg.GCYield && f.hostActive() && len(pu.free) > hostReserveBlocks {
+		pu.gcRunning = false
+		return
+	}
+	idx := f.pickVictim(pu)
+	if idx < 0 {
+		pu.gcRunning = false
+		return
+	}
+	victim := pu.full[idx]
+	pu.full = append(pu.full[:idx], pu.full[idx+1:]...)
+	f.counters.GCRuns++
+	f.collectBlock(pu, victim)
+}
+
+// pickVictim chooses a victim among the PU's closed blocks per the
+// configured policy, skipping blocks with in-flight programs. It returns an
+// index into pu.full, or -1.
+func (f *FTL) pickVictim(pu *puState) int {
+	candidates := pu.full
+	if len(candidates) == 0 {
+		return -1
+	}
+	// A victim must reclaim at least one full page of space: relocating
+	// its valid sectors repacked must consume strictly fewer pages than
+	// the erase frees, or collection makes zero net progress and would
+	// spin forever when over-provisioning is thinly spread.
+	maxValid := int32((f.pagesPerBlk - 1) * f.secPerPage)
+	eligible := func(i int) bool {
+		gb := f.globalBlock(pu.index, candidates[i])
+		return f.blockInflight[gb] == 0 && f.blockValid[gb] <= maxValid && !f.blockBad(gb)
+	}
+	valid := func(i int) int32 {
+		return f.blockValid[f.globalBlock(pu.index, candidates[i])]
+	}
+	switch f.cfg.GC {
+	case GCFIFO:
+		for i := range candidates {
+			if eligible(i) {
+				return i
+			}
+		}
+		return -1
+	case GCRandGreedy:
+		best, bestValid := -1, int32(0)
+		for s := 0; s < f.cfg.GCSample; s++ {
+			i := f.rng.Intn(len(candidates))
+			if !eligible(i) {
+				continue
+			}
+			if v := valid(i); best < 0 || v < bestValid {
+				best, bestValid = i, v
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		// The sample can miss every eligible block; fall back to a linear
+		// scan for any eligible victim. Stopping here with allocation
+		// waiters queued would deadlock the parallel unit.
+		for i := range candidates {
+			if eligible(i) {
+				return i
+			}
+		}
+		return -1
+	default: // GCGreedy
+		best, bestValid := -1, int32(0)
+		for i := range candidates {
+			if !eligible(i) {
+				continue
+			}
+			if v := valid(i); best < 0 || v < bestValid {
+				best, bestValid = i, v
+			}
+		}
+		return best
+	}
+}
+
+// collectBlock relocates the victim's live sectors and erases it. Reads,
+// relocation programs and the erase all contend with host traffic on the
+// PU's channel and die — this contention is the tail-latency mechanism of
+// the paper's Figure 3.
+func (f *FTL) collectBlock(pu *puState, victim int32) {
+	type live struct{ lsn, psn int64 }
+	var moves []live
+	var readPages []int
+	blockBase := f.ppnOf(pu.index, victim, 0) * int64(f.secPerPage)
+	for p := 0; p < f.pagesPerBlk; p++ {
+		pageLive := false
+		for s := 0; s < f.secPerPage; s++ {
+			psn := blockBase + int64(p*f.secPerPage+s)
+			if lsn := f.p2l[psn]; lsn >= 0 {
+				moves = append(moves, live{lsn: lsn, psn: psn})
+				pageLive = true
+			}
+		}
+		if pageLive {
+			readPages = append(readPages, p)
+		}
+	}
+
+	eraseVictim := func() {
+		addr := nand.Addr{Die: pu.die, Plane: pu.plane, Block: int(victim)}
+		f.flash.Erase(pu.ch, pu.chip, addr, f.cfg.GCSuspend, func(err error) {
+			if err != nil {
+				// Worn out: retire instead of freeing (its live data was
+				// already relocated above).
+				f.retireBlock(pu, victim)
+			} else {
+				f.counters.Erases++
+				f.blockErases[f.globalBlock(pu.index, victim)]++
+				pu.free = append(pu.free, victim)
+			}
+			f.drainPUWaiters(pu)
+			f.gcStep(pu)
+			f.pumpDrain()
+		})
+	}
+
+	// Relocation output pages issue strictly one at a time so host
+	// operations interleave on the die between them — the preemptible-GC
+	// discipline (Lee et al., cited in §1) every modern FTL approximates.
+	// A non-preemptible burst of a block's worth of programs would stall
+	// foreground I/O for hundreds of milliseconds.
+	nPages := (len(moves) + f.secPerPage - 1) / f.secPerPage
+	var writeNext func(p int)
+	writeNext = func(p int) {
+		if p == nPages {
+			eraseVictim()
+			return
+		}
+		if f.gcYieldPoint(pu, func() { writeNext(p) }) {
+			return
+		}
+		lsns := make([]int64, f.secPerPage)
+		old := make([]int64, f.secPerPage)
+		for i := range lsns {
+			mi := p*f.secPerPage + i
+			if mi < len(moves) {
+				lsns[i] = moves[mi].lsn
+				old[i] = moves[mi].psn
+			} else {
+				lsns[i] = -1
+			}
+		}
+		op := &pageOp{kind: kindGC, lsns: lsns, old: old, pu: pu.index}
+		op.done = func() { writeNext(p + 1) }
+		f.submitPage(op)
+	}
+
+	// Reads likewise chain one at a time.
+	var readNext func(i int)
+	readNext = func(i int) {
+		if i == len(readPages) {
+			writeNext(0)
+			return
+		}
+		if f.gcYieldPoint(pu, func() { readNext(i) }) {
+			return
+		}
+		addr := nand.Addr{Die: pu.die, Plane: pu.plane, Block: int(victim), Page: readPages[i]}
+		f.counters.GCPageReads++
+		f.flash.Read(pu.ch, pu.chip, addr, false, func(int, error) {
+			readNext(i + 1)
+		})
+	}
+	if len(readPages) == 0 {
+		writeNext(0)
+		return
+	}
+	readNext(0)
+}

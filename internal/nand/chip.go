@@ -1,0 +1,243 @@
+package nand
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common flash-semantics errors.
+var (
+	ErrOutOfRange   = errors.New("nand: address out of range")
+	ErrOverwrite    = errors.New("nand: program of non-erased page")
+	ErrOutOfOrder   = errors.New("nand: pages must be programmed in order within a block")
+	ErrWornOut      = errors.New("nand: block exceeded erase endurance")
+	ErrSizeMismatch = errors.New("nand: data length does not match page size")
+)
+
+// PageState is the lifecycle state of a physical page.
+type PageState uint8
+
+// Page lifecycle states.
+const (
+	PageErased PageState = iota
+	PageProgrammed
+)
+
+// Stats counts operations executed by a chip.
+type Stats struct {
+	Reads    int64
+	Programs int64
+	Erases   int64
+}
+
+// ChipConfig configures a Chip.
+type ChipConfig struct {
+	Geometry Geometry
+	// StoreData retains programmed payloads (sparsely) so reads return the
+	// written bytes. Off, reads of programmed pages return zeros; the state
+	// machine and statistics still behave identically.
+	StoreData bool
+	// WearLimit, if positive, makes Erase fail with ErrWornOut once a block
+	// reaches that many erases.
+	WearLimit int
+	// Reliability enables the raw bit-error model; it requires Clock.
+	Reliability Reliability
+	// Clock supplies simulated time for retention aging (typically the
+	// engine's Now). Required when Reliability is enabled.
+	Clock func() int64
+	// ID is the chip's JEDEC identification, returned by READ ID; zero
+	// value yields a generic ONFI signature.
+	ID ChipID
+}
+
+// Chip is the logical state of one NAND package: page states, per-block
+// program cursors and erase counts, and (optionally) page payloads. Chip is
+// passive — it has no clock; the onfi.Bus sequences operations in simulated
+// time and invokes these methods at commit points.
+type Chip struct {
+	cfg        ChipConfig
+	geom       Geometry
+	state      []PageState // dense, PageIndex-ordered
+	cursor     []int       // per block: next programmable page
+	erases     []int       // per block
+	reads      []int       // per block: reads since last erase (read disturb)
+	birth      []int64     // per page: program time (reliability model)
+	data       map[int64][]byte
+	stats      Stats
+	factoryBad map[int64]bool
+}
+
+// NewChip returns an all-erased chip. It panics on invalid geometry: chip
+// construction happens at model-build time where a bad geometry is a
+// programming error.
+func NewChip(cfg ChipConfig) *Chip {
+	if err := cfg.Geometry.Validate(); err != nil {
+		panic(err)
+	}
+	g := cfg.Geometry
+	if cfg.Reliability.Enabled() && cfg.Clock == nil {
+		panic("nand: Reliability requires a Clock")
+	}
+	c := &Chip{
+		cfg:        cfg,
+		geom:       g,
+		state:      make([]PageState, g.Pages()),
+		cursor:     make([]int, g.Blocks()),
+		erases:     make([]int, g.Blocks()),
+		reads:      make([]int, g.Blocks()),
+		factoryBad: make(map[int64]bool),
+	}
+	if cfg.Reliability.Enabled() {
+		c.birth = make([]int64, g.Pages())
+	}
+	if cfg.StoreData {
+		c.data = make(map[int64][]byte)
+	}
+	return c
+}
+
+// MarkFactoryBad records a factory bad block: erase and program operations
+// on it fail, as shipped-bad blocks do on real parts.
+func (c *Chip) MarkFactoryBad(a Addr) {
+	a.Page = 0
+	if c.geom.Contains(a) {
+		c.factoryBad[c.geom.BlockIndex(a)] = true
+	}
+}
+
+// BitErrors returns the raw bit-error count a read of the page would see
+// under the configured reliability model (0 when disabled or erased).
+func (c *Chip) BitErrors(a Addr) int {
+	if !c.cfg.Reliability.Enabled() || !c.geom.Contains(a) {
+		return 0
+	}
+	idx := c.geom.PageIndex(a)
+	if c.state[idx] != PageProgrammed {
+		return 0
+	}
+	blk := c.geom.BlockIndex(a)
+	age := c.cfg.Clock() - c.birth[idx]
+	return c.cfg.Reliability.BitErrorsRD(c.erases[blk], age, c.reads[blk])
+}
+
+// BlockReads returns reads of the block containing a since its last erase.
+func (c *Chip) BlockReads(a Addr) int {
+	if !c.geom.Contains(Addr{Die: a.Die, Plane: a.Plane, Block: a.Block}) {
+		return 0
+	}
+	return c.reads[c.geom.BlockIndex(a)]
+}
+
+// Geometry returns the chip's layout.
+func (c *Chip) Geometry() Geometry { return c.geom }
+
+// Stats returns a copy of the operation counters.
+func (c *Chip) Stats() Stats { return c.stats }
+
+// State returns the lifecycle state of the addressed page.
+func (c *Chip) State(a Addr) (PageState, error) {
+	if !c.geom.Contains(a) {
+		return 0, fmt.Errorf("%w: %v", ErrOutOfRange, a)
+	}
+	return c.state[c.geom.PageIndex(a)], nil
+}
+
+// EraseCount returns how many times the block containing a has been erased.
+func (c *Chip) EraseCount(a Addr) int {
+	if !c.geom.Contains(Addr{Die: a.Die, Plane: a.Plane, Block: a.Block}) {
+		return 0
+	}
+	return c.erases[c.geom.BlockIndex(a)]
+}
+
+// Program commits a page program. data must be exactly PageSize bytes (nil
+// is allowed and programs zeros). Flash semantics enforced: the page must be
+// erased, and pages within a block must be programmed in ascending order.
+func (c *Chip) Program(a Addr, data []byte) error {
+	if !c.geom.Contains(a) {
+		return fmt.Errorf("%w: %v", ErrOutOfRange, a)
+	}
+	if data != nil && len(data) != c.geom.PageSize {
+		return fmt.Errorf("%w: got %d, page size %d", ErrSizeMismatch, len(data), c.geom.PageSize)
+	}
+	idx := c.geom.PageIndex(a)
+	if c.state[idx] != PageErased {
+		return fmt.Errorf("%w: %v", ErrOverwrite, a)
+	}
+	blk := c.geom.BlockIndex(a)
+	if c.factoryBad[blk] {
+		return fmt.Errorf("%w: %v (factory bad block)", ErrWornOut, a)
+	}
+	if a.Page != c.cursor[blk] {
+		return fmt.Errorf("%w: %v (next programmable page is %d)", ErrOutOfOrder, a, c.cursor[blk])
+	}
+	c.state[idx] = PageProgrammed
+	c.cursor[blk]++
+	if c.birth != nil {
+		c.birth[idx] = c.cfg.Clock()
+	}
+	if c.data != nil && data != nil {
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		c.data[idx] = buf
+	}
+	c.stats.Programs++
+	return nil
+}
+
+// Read copies the addressed page into buf (which must be PageSize bytes, or
+// nil to model a read whose payload the caller does not need). Reading an
+// erased page yields 0xFF bytes, as real flash does.
+func (c *Chip) Read(a Addr, buf []byte) error {
+	if !c.geom.Contains(a) {
+		return fmt.Errorf("%w: %v", ErrOutOfRange, a)
+	}
+	if buf != nil && len(buf) != c.geom.PageSize {
+		return fmt.Errorf("%w: got %d, page size %d", ErrSizeMismatch, len(buf), c.geom.PageSize)
+	}
+	idx := c.geom.PageIndex(a)
+	if buf != nil {
+		if c.state[idx] == PageErased {
+			for i := range buf {
+				buf[i] = 0xFF
+			}
+		} else if d, ok := c.data[idx]; ok {
+			copy(buf, d)
+		} else {
+			for i := range buf {
+				buf[i] = 0
+			}
+		}
+	}
+	c.reads[c.geom.BlockIndex(a)]++
+	c.stats.Reads++
+	return nil
+}
+
+// Erase commits a block erase (the Page field of a is ignored).
+func (c *Chip) Erase(a Addr) error {
+	a.Page = 0
+	if !c.geom.Contains(a) {
+		return fmt.Errorf("%w: %v", ErrOutOfRange, a)
+	}
+	blk := c.geom.BlockIndex(a)
+	if c.factoryBad[blk] {
+		return fmt.Errorf("%w: %v (factory bad block)", ErrWornOut, a)
+	}
+	if c.cfg.WearLimit > 0 && c.erases[blk] >= c.cfg.WearLimit {
+		return fmt.Errorf("%w: block %v after %d erases", ErrWornOut, a, c.erases[blk])
+	}
+	base := c.geom.PageIndex(a)
+	for p := 0; p < c.geom.PagesPerBlock; p++ {
+		idx := base + int64(p)
+		c.state[idx] = PageErased
+		if c.data != nil {
+			delete(c.data, idx)
+		}
+	}
+	c.cursor[blk] = 0
+	c.erases[blk]++
+	c.reads[blk] = 0
+	c.stats.Erases++
+	return nil
+}

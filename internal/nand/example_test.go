@@ -1,0 +1,33 @@
+package nand_test
+
+import (
+	"fmt"
+
+	"ssdtp/internal/nand"
+)
+
+func ExampleChip_flashSemantics() {
+	g := nand.Geometry{Dies: 1, Planes: 1, BlocksPerPlane: 2, PagesPerBlock: 4, PageSize: 4096}
+	chip := nand.NewChip(nand.ChipConfig{Geometry: g})
+	a := nand.Addr{Block: 0, Page: 0}
+	fmt.Println("program:", chip.Program(a, nil))
+	fmt.Println("overwrite allowed:", chip.Program(a, nil) == nil)
+	fmt.Println("erase:", chip.Erase(a))
+	fmt.Println("reprogram after erase:", chip.Program(a, nil))
+	// Output:
+	// program: <nil>
+	// overwrite allowed: false
+	// erase: <nil>
+	// reprogram after erase: <nil>
+}
+
+func ExampleParseParameterPage() {
+	g := nand.Geometry{Dies: 2, Planes: 2, BlocksPerPlane: 64, PagesPerBlock: 128, PageSize: 16384, OOBSize: 1024}
+	chip := nand.NewChip(nand.ChipConfig{
+		Geometry: g,
+		ID:       nand.ChipID{ManufacturerCode: 0x2C, Manufacturer: "MICRON", Model: "MT29F256G08"},
+	})
+	p, ok := nand.ParseParameterPage(chip.ParameterPage())
+	fmt.Println(ok, p.CRCOK, p.Manufacturer, p.PageBytes, p.LUNs)
+	// Output: true true MICRON 16384 2
+}

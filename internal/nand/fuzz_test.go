@@ -1,0 +1,22 @@
+package nand
+
+import "testing"
+
+// FuzzParseParameterPage hardens the ONFI parameter-page parser.
+func FuzzParseParameterPage(f *testing.F) {
+	chip := NewChip(ChipConfig{Geometry: Geometry{
+		Dies: 2, Planes: 2, BlocksPerPlane: 8, PagesPerBlock: 16, PageSize: 4096,
+	}})
+	f.Add(chip.ParameterPage())
+	f.Add([]byte("ONFI"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, page []byte) {
+		p, ok := ParseParameterPage(page)
+		if ok && p.CRCOK && len(page) >= ParameterPageSize {
+			// A CRC-valid page must re-encode its integer fields sanely.
+			if p.PageBytes < 0 || p.PagesPerBlock < 0 || p.LUNs < 0 {
+				t.Fatalf("negative geometry from valid page: %+v", p)
+			}
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package nand
+
+import "encoding/binary"
+
+// ChipID is the device identification returned by the ONFI READ ID command
+// and elaborated by the parameter page. Standardized identification is one
+// of the pillars of the paper's probe-based reverse engineering (§3.1): a
+// probe that captures the controller's power-on enumeration learns the
+// flash vendor and geometry without any cooperation.
+type ChipID struct {
+	// ManufacturerCode is the JEDEC manufacturer byte (0x2C Micron,
+	// 0xEC Samsung, 0x98 Toshiba, ...).
+	ManufacturerCode byte
+	// DeviceCode identifies the part.
+	DeviceCode byte
+	// Manufacturer and Model are the ASCII strings in the parameter page.
+	Manufacturer string
+	Model        string
+}
+
+// genericID fills a zero ChipID.
+func (id ChipID) withDefaults() ChipID {
+	if id.ManufacturerCode == 0 {
+		id.ManufacturerCode = 0x2C // Micron
+		id.DeviceCode = 0x64
+	}
+	if id.Manufacturer == "" {
+		id.Manufacturer = "GENERIC"
+	}
+	if id.Model == "" {
+		id.Model = "SIM-NAND"
+	}
+	return id
+}
+
+// IDBytes returns the 5-byte READ ID response: manufacturer, device, and
+// three packed geometry/feature bytes (simplified from the JEDEC encoding;
+// the parameter page carries the authoritative geometry).
+func (c *Chip) IDBytes() [5]byte {
+	id := c.cfg.ID.withDefaults()
+	g := c.geom
+	var b3 byte
+	switch {
+	case g.PageSize >= 16384:
+		b3 = 0x03
+	case g.PageSize >= 8192:
+		b3 = 0x02
+	case g.PageSize >= 4096:
+		b3 = 0x01
+	}
+	b4 := byte(g.Planes<<2) | byte(g.Dies)
+	return [5]byte{id.ManufacturerCode, id.DeviceCode, 0x00, b3, b4}
+}
+
+// ONFI parameter page field offsets (ONFI 2.x, the subset this model
+// populates).
+const (
+	ppSignature    = 0   // "ONFI"
+	ppManufacturer = 32  // 12 ASCII bytes
+	ppModel        = 44  // 20 ASCII bytes
+	ppJEDEC        = 64  // manufacturer code
+	ppPageBytes    = 80  // uint32 LE
+	ppSpareBytes   = 84  // uint16 LE
+	ppPagesPerBlk  = 92  // uint32 LE
+	ppBlocksPerLUN = 96  // uint32 LE
+	ppLUNCount     = 100 // uint8
+	ppCRC          = 254 // uint16 LE, ONFI CRC-16 over bytes 0..253
+
+	// ParameterPageSize is the page's length in bytes.
+	ParameterPageSize = 256
+)
+
+// ParameterPage renders the chip's ONFI parameter page. Real parts return
+// several redundant copies; this model returns one.
+func (c *Chip) ParameterPage() []byte {
+	id := c.cfg.ID.withDefaults()
+	g := c.geom
+	p := make([]byte, ParameterPageSize)
+	copy(p[ppSignature:], "ONFI")
+	copy(p[ppManufacturer:ppManufacturer+12], padded(id.Manufacturer, 12))
+	copy(p[ppModel:ppModel+20], padded(id.Model, 20))
+	p[ppJEDEC] = id.ManufacturerCode
+	binary.LittleEndian.PutUint32(p[ppPageBytes:], uint32(g.PageSize))
+	binary.LittleEndian.PutUint16(p[ppSpareBytes:], uint16(g.OOBSize))
+	binary.LittleEndian.PutUint32(p[ppPagesPerBlk:], uint32(g.PagesPerBlock))
+	// ONFI counts blocks per LUN across planes.
+	binary.LittleEndian.PutUint32(p[ppBlocksPerLUN:], uint32(g.BlocksPerPlane*g.Planes))
+	p[ppLUNCount] = byte(g.Dies)
+	binary.LittleEndian.PutUint16(p[ppCRC:], onfiCRC16(p[:ppCRC]))
+	return p
+}
+
+// ParsedParameterPage is the decoded view of a parameter page.
+type ParsedParameterPage struct {
+	Manufacturer  string
+	Model         string
+	JEDEC         byte
+	PageBytes     int
+	SpareBytes    int
+	PagesPerBlock int
+	BlocksPerLUN  int
+	LUNs          int
+	CRCOK         bool
+}
+
+// ParseParameterPage decodes a captured parameter page; it reports ok=false
+// if the signature is absent.
+func ParseParameterPage(p []byte) (ParsedParameterPage, bool) {
+	if len(p) < ParameterPageSize || string(p[:4]) != "ONFI" {
+		return ParsedParameterPage{}, false
+	}
+	out := ParsedParameterPage{
+		Manufacturer:  trimmed(p[ppManufacturer : ppManufacturer+12]),
+		Model:         trimmed(p[ppModel : ppModel+20]),
+		JEDEC:         p[ppJEDEC],
+		PageBytes:     int(binary.LittleEndian.Uint32(p[ppPageBytes:])),
+		SpareBytes:    int(binary.LittleEndian.Uint16(p[ppSpareBytes:])),
+		PagesPerBlock: int(binary.LittleEndian.Uint32(p[ppPagesPerBlk:])),
+		BlocksPerLUN:  int(binary.LittleEndian.Uint32(p[ppBlocksPerLUN:])),
+		LUNs:          int(p[ppLUNCount]),
+	}
+	out.CRCOK = binary.LittleEndian.Uint16(p[ppCRC:]) == onfiCRC16(p[:ppCRC])
+	return out, true
+}
+
+// onfiCRC16 is the ONFI parameter-page CRC: polynomial 0x8005, initial
+// value 0x4F4E.
+func onfiCRC16(data []byte) uint16 {
+	crc := uint16(0x4F4E)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x8005
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+func padded(s string, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = ' '
+	}
+	copy(out, s)
+	return out
+}
+
+func trimmed(b []byte) string {
+	end := len(b)
+	for end > 0 && (b[end-1] == ' ' || b[end-1] == 0) {
+		end--
+	}
+	return string(b[:end])
+}

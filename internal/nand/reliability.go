@@ -1,0 +1,64 @@
+package nand
+
+import "ssdtp/internal/sim"
+
+// Reliability parameterizes the chip's raw bit-error behaviour. The model
+// is deterministic (tests and experiments must be reproducible): the error
+// count of a page read is a function of block wear and data retention age,
+// the two dominant terms of published NAND error characterizations (Cai et
+// al., cited by the paper §2). The paper lists the countermeasures —
+// page refreshing, self-healing — among the "unpredictable background
+// operations" that make black-box models unreliable; the FTL's scrubber
+// uses this model to create exactly that background traffic.
+type Reliability struct {
+	// BaseBits is the error floor of a freshly written page on a fresh
+	// block.
+	BaseBits int
+	// WearBitsPerKiloErase adds errors proportionally to the containing
+	// block's erase count.
+	WearBitsPerKiloErase int
+	// RetentionBitsPerHour adds errors proportionally to the time since
+	// the page was programmed (simulated hours).
+	RetentionBitsPerHour int
+	// ReadDisturbBitsPerKiloRead adds errors to every page of a block in
+	// proportion to reads of that block since its last erase.
+	ReadDisturbBitsPerKiloRead int
+}
+
+// Enabled reports whether any error term is configured.
+func (r Reliability) Enabled() bool {
+	return r.BaseBits > 0 || r.WearBitsPerKiloErase > 0 || r.RetentionBitsPerHour > 0 ||
+		r.ReadDisturbBitsPerKiloRead > 0
+}
+
+// TLCReliability returns values typical of planar TLC: noticeable wear
+// sensitivity and retention drift (scaled so simulated-minute experiments
+// exercise the refresh path the way months exercise real drives).
+func TLCReliability() Reliability {
+	return Reliability{
+		BaseBits:                   2,
+		WearBitsPerKiloErase:       20,
+		RetentionBitsPerHour:       6,
+		ReadDisturbBitsPerKiloRead: 400,
+	}
+}
+
+// BitErrors returns the deterministic error count for a page with the
+// given block erase count, data age, and block read count since erase.
+func (r Reliability) BitErrors(eraseCount int, age sim.Time) int {
+	return r.BitErrorsRD(eraseCount, age, 0)
+}
+
+// BitErrorsRD is BitErrors with the read-disturb term.
+func (r Reliability) BitErrorsRD(eraseCount int, age sim.Time, blockReads int) int {
+	bits := r.BaseBits
+	bits += r.WearBitsPerKiloErase * eraseCount / 1000
+	hours := int(age / (3600 * sim.Second))
+	if r.RetentionBitsPerHour > 0 && age > 0 {
+		// Sub-hour resolution: scale linearly within the hour.
+		frac := int(age % (3600 * sim.Second) * sim.Time(r.RetentionBitsPerHour) / (3600 * sim.Second))
+		bits += r.RetentionBitsPerHour*hours + frac
+	}
+	bits += r.ReadDisturbBitsPerKiloRead * blockReads / 1000
+	return bits
+}

@@ -1,0 +1,131 @@
+// Package oltp generates the transaction write stream of the paper's
+// Figure 2 experiment: each committed transaction dirties a few B-tree
+// leaf pages (random, with a hot working set) and appends redo-log records.
+// The stream feeds an intra-SSD compression scheme (internal/compress),
+// which accounts the flash page writes each transaction induces.
+package oltp
+
+import (
+	"math/rand"
+
+	"ssdtp/internal/compress"
+)
+
+// Config parameterizes the workload.
+type Config struct {
+	// TablePages is the number of 4 KB pages in the working set.
+	TablePages int64
+	// DirtyPerTxn is how many table pages a transaction updates.
+	DirtyPerTxn int
+	// LogBytesPerTxn is the redo-record volume per commit.
+	LogBytesPerTxn int
+	// PageRatio is the compressibility of table pages (0..1, lower is more
+	// compressible; OLTP rows with padded fields compress very well).
+	PageRatio float64
+	// LogRatio is the compressibility of redo records.
+	LogRatio float64
+	// HotFrac/HotAccessFrac skew page updates (defaults 0.2/0.8).
+	HotFrac       float64
+	HotAccessFrac float64
+	Seed          int64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.TablePages == 0 {
+		c.TablePages = 16384
+	}
+	if c.DirtyPerTxn == 0 {
+		c.DirtyPerTxn = 2
+	}
+	if c.LogBytesPerTxn == 0 {
+		c.LogBytesPerTxn = 512
+	}
+	if c.PageRatio == 0 {
+		c.PageRatio = 0.25
+	}
+	if c.LogRatio == 0 {
+		c.LogRatio = 0.5
+	}
+	if c.HotFrac == 0 {
+		c.HotFrac = 0.2
+	}
+	if c.HotAccessFrac == 0 {
+		c.HotAccessFrac = 0.8
+	}
+	return c
+}
+
+// Result summarizes a run against one scheme.
+type Result struct {
+	Scheme       string
+	Transactions int64
+	PagesWritten int64
+}
+
+// WritesPerTxn returns flash page writes per committed transaction.
+func (r Result) WritesPerTxn() float64 {
+	if r.Transactions == 0 {
+		return 0
+	}
+	return float64(r.PagesWritten) / float64(r.Transactions)
+}
+
+// Engine drives transactions into a compression scheme.
+type Engine struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// NewEngine returns an engine for cfg.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed + 17))}
+}
+
+// pickPage selects a table page with the configured hot/cold skew.
+func (e *Engine) pickPage() int64 {
+	c := e.cfg
+	hot := int64(float64(c.TablePages) * c.HotFrac)
+	if hot < 1 {
+		hot = 1
+	}
+	if e.rng.Float64() < c.HotAccessFrac {
+		return e.rng.Int63n(hot)
+	}
+	return hot + e.rng.Int63n(c.TablePages-hot)
+}
+
+// Run executes n transactions against scheme and returns the delta this run
+// induced (the scheme may have prior history, e.g. a priming pass).
+func (e *Engine) Run(scheme compress.Scheme, n int64) Result {
+	start := scheme.PagesWritten()
+	for t := int64(0); t < n; t++ {
+		for d := 0; d < e.cfg.DirtyPerTxn; d++ {
+			scheme.WriteSector(e.pickPage(), e.jitter(e.cfg.PageRatio))
+		}
+		scheme.Append(e.cfg.LogBytesPerTxn, e.jitter(e.cfg.LogRatio))
+	}
+	return Result{
+		Scheme:       scheme.Name(),
+		Transactions: n,
+		PagesWritten: scheme.PagesWritten() - start,
+	}
+}
+
+// Prime loads every table page once (sequential bulk load), bringing the
+// scheme's log to steady state before measurement.
+func (e *Engine) Prime(scheme compress.Scheme) {
+	for p := int64(0); p < e.cfg.TablePages; p++ {
+		scheme.WriteSector(p, e.jitter(e.cfg.PageRatio))
+	}
+}
+
+// jitter perturbs a ratio by ±10% so blob sizes are not perfectly uniform.
+func (e *Engine) jitter(r float64) float64 {
+	j := r * (0.9 + 0.2*e.rng.Float64())
+	if j > 1 {
+		j = 1
+	}
+	return j
+}

@@ -1,0 +1,79 @@
+package oltp
+
+import (
+	"testing"
+
+	"ssdtp/internal/compress"
+)
+
+func TestRunCountsTransactions(t *testing.T) {
+	e := NewEngine(Config{TablePages: 1024, Seed: 1})
+	s, _ := compress.New("compact", 16384)
+	e.Prime(s)
+	res := e.Run(s, 500)
+	if res.Transactions != 500 {
+		t.Fatalf("txns = %d", res.Transactions)
+	}
+	if res.PagesWritten <= 0 {
+		t.Error("no pages written by 500 transactions")
+	}
+	if res.WritesPerTxn() <= 0 {
+		t.Error("WritesPerTxn not positive")
+	}
+}
+
+func TestDeltaExcludesPriming(t *testing.T) {
+	e := NewEngine(Config{TablePages: 2048, Seed: 2})
+	s, _ := compress.New("none", 16384)
+	e.Prime(s)
+	primed := s.PagesWritten()
+	if primed == 0 {
+		t.Fatal("priming wrote nothing")
+	}
+	res := e.Run(s, 100)
+	if res.PagesWritten >= primed {
+		t.Errorf("run delta %d implausibly exceeds priming %d", res.PagesWritten, primed)
+	}
+}
+
+func TestSchemeOrderingHighCompressibility(t *testing.T) {
+	// The Figure 2 shape: at high compressibility, chunk4 is the worst
+	// scheme (whole-chunk RMW), re-bp32 the best, with the spread around
+	// 2-3x.
+	writesPerTxn := func(name string) float64 {
+		e := NewEngine(Config{TablePages: 8192, PageRatio: 0.22, Seed: 3})
+		s, _ := compress.New(name, 16384)
+		e.Prime(s)
+		return e.Run(s, 20000).WritesPerTxn()
+	}
+	re := writesPerTxn("re-bp32")
+	chunk4 := writesPerTxn("chunk4")
+	compact := writesPerTxn("compact")
+	none := writesPerTxn("none")
+	if re <= 0 {
+		t.Fatal("re-bp32 wrote nothing")
+	}
+	if !(chunk4 > compact && compact >= re) {
+		t.Errorf("ordering violated: chunk4=%.3f compact=%.3f re=%.3f", chunk4, compact, re)
+	}
+	if none <= chunk4 {
+		t.Errorf("uncompressed (%.3f) should exceed chunk4 (%.3f)", none, chunk4)
+	}
+	ratio := chunk4 / re
+	if ratio < 1.5 || ratio > 6 {
+		t.Errorf("chunk4/re-bp32 = %.2f, expected roughly 2-3x spread", ratio)
+	}
+}
+
+func TestWritesPerTxnZeroSafe(t *testing.T) {
+	if (Result{}).WritesPerTxn() != 0 {
+		t.Error("zero transactions should give 0")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	e := NewEngine(Config{})
+	if e.cfg.TablePages == 0 || e.cfg.DirtyPerTxn == 0 || e.cfg.PageRatio == 0 {
+		t.Error("defaults not applied")
+	}
+}

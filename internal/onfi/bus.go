@@ -1,0 +1,383 @@
+package onfi
+
+import (
+	"fmt"
+
+	"ssdtp/internal/nand"
+	"ssdtp/internal/sim"
+)
+
+// BusStats aggregates traffic counters for one channel.
+type BusStats struct {
+	Reads     int64
+	Programs  int64
+	Erases    int64
+	BytesIn   int64 // host -> chip (program payloads)
+	BytesOut  int64 // chip -> host (read payloads)
+	CmdCycles int64
+}
+
+// Bus is one flash channel: a set of chips sharing command/address/data
+// wires. Transfers serialize on the bus; array operations proceed in
+// parallel across dies and chips. All completion callbacks fire on the
+// simulation engine.
+type Bus struct {
+	eng    *sim.Engine
+	id     int
+	timing nand.Timing
+	chips  []*nand.Chip
+	wires  *sim.Resource
+	dies   [][]*sim.Resource // [chip][die]
+	// suspendable marks dies whose current array operation is a
+	// background program that supports program-suspend.
+	suspendable [][]bool
+	obs         []observerReg
+	nextObsID   int
+	stats       BusStats
+}
+
+// SuspendOverhead is the array-time cost of suspending an in-progress
+// background program to service a priority read (vendor datasheets quote
+// tens of microseconds).
+const SuspendOverhead = 50 * sim.Microsecond
+
+// observerReg pairs an observer with the registration id its detach closure
+// removes it by (Observer values, e.g. ObserverFunc, are not comparable).
+type observerReg struct {
+	id int
+	o  Observer
+}
+
+// NewBus wires chips (all sharing timing t) onto channel id of engine eng.
+func NewBus(eng *sim.Engine, id int, t nand.Timing, chips ...*nand.Chip) *Bus {
+	b := &Bus{eng: eng, id: id, timing: t, chips: chips, wires: sim.NewResource(eng)}
+	b.dies = make([][]*sim.Resource, len(chips))
+	b.suspendable = make([][]bool, len(chips))
+	for i, c := range chips {
+		b.dies[i] = make([]*sim.Resource, c.Geometry().Dies)
+		b.suspendable[i] = make([]bool, c.Geometry().Dies)
+		for d := range b.dies[i] {
+			b.dies[i][d] = sim.NewResource(eng)
+		}
+	}
+	return b
+}
+
+// ID returns the channel index.
+func (b *Bus) ID() int { return b.id }
+
+// Chips returns the chips on this channel.
+func (b *Bus) Chips() []*nand.Chip { return b.chips }
+
+// Timing returns the channel timing parameters.
+func (b *Bus) Timing() nand.Timing { return b.timing }
+
+// Stats returns a copy of the traffic counters.
+func (b *Bus) Stats() BusStats { return b.stats }
+
+// Utilization returns the cumulative time the bus wires were held.
+func (b *Bus) Utilization() sim.Time { return b.wires.BusyTime() }
+
+// Observe registers an observer for all subsequent bus events and returns a
+// function that detaches it. Attaching an observer is the simulated
+// equivalent of soldering probe wires to the package pinout.
+func (b *Bus) Observe(o Observer) (detach func()) {
+	b.nextObsID++
+	id := b.nextObsID
+	b.obs = append(b.obs, observerReg{id: id, o: o})
+	return func() {
+		for i, r := range b.obs {
+			if r.id == id {
+				b.obs = append(b.obs[:i], b.obs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+func (b *Bus) emit(ev BusEvent) {
+	for _, r := range b.obs {
+		r.o.OnBusEvent(ev)
+	}
+}
+
+func (b *Bus) observed() bool { return len(b.obs) > 0 }
+
+func (b *Bus) checkChip(chip int) *nand.Chip {
+	if chip < 0 || chip >= len(b.chips) {
+		panic(fmt.Sprintf("onfi: chip %d out of range on bus %d", chip, b.id))
+	}
+	return b.chips[chip]
+}
+
+// Program writes data (PageSize bytes, or nil) to addr on chip, invoking
+// done(err) when the array operation completes.
+func (b *Bus) Program(chip int, addr nand.Addr, data []byte, done func(error)) {
+	b.programMulti(chip, []nand.Addr{addr}, [][]byte{data}, b.timing.ProgramPage, done)
+}
+
+// ProgramSLC is Program with pseudo-SLC array timing (one bit per cell
+// programs ~4x faster). The bus protocol is identical — which is exactly why
+// a probe-based decoder cannot distinguish SLC-mode programs except by their
+// busy time.
+func (b *Bus) ProgramSLC(chip int, addr nand.Addr, data []byte, done func(error)) {
+	b.programMulti(chip, []nand.Addr{addr}, [][]byte{data}, b.timing.SLCMode().ProgramPage, done)
+}
+
+// ProgramBG issues a background (relocation/refresh) program whose array
+// phase is suspendable by priority reads — the ONFI program-suspend feature
+// preemptible-GC designs rely on.
+func (b *Bus) ProgramBG(chip int, addr nand.Addr, data []byte, slc bool, done func(error)) {
+	tprog := b.timing.ProgramPage
+	if slc {
+		tprog = b.timing.SLCMode().ProgramPage
+	}
+	die := addr.Die
+	b.markSuspendable(chip, die, true)
+	b.programMulti(chip, []nand.Addr{addr}, [][]byte{data}, tprog, func(err error) {
+		b.markSuspendable(chip, die, false)
+		if done != nil {
+			done(err)
+		}
+	})
+}
+
+func (b *Bus) markSuspendable(chip, die int, v bool) {
+	b.suspendable[chip][die] = v
+}
+
+// ReadPri is a priority read: if the target die is mid-way through a
+// suspendable background program, the read suspends it (paying
+// SuspendOverhead) instead of queueing behind it. The suspended program's
+// completion time is modeled as unchanged — the resume consumes slack the
+// array operation already had.
+func (b *Bus) ReadPri(chip int, addr nand.Addr, buf []byte, done func(bitErrors int, err error)) {
+	die := addr.Die
+	if !b.suspendable[chip][die] || !b.dies[chip][die].Busy() {
+		b.ReadEx(chip, addr, buf, done)
+		return
+	}
+	// Suspend path: bypass the die queue; command+address+transfer still
+	// serialize on the channel wires.
+	c := b.checkChip(chip)
+	g := c.Geometry()
+	bits := c.BitErrors(addr)
+	b.wires.Acquire(func() {
+		dur := b.emitCmdAddrAt(chip, die, CmdReadSetup, true, g.RowAddress(addr), 0)
+		dur += b.timing.CmdCycle
+		b.stats.CmdCycles++
+		b.eng.Schedule(dur, func() {
+			b.wires.Release()
+			b.eng.Schedule(SuspendOverhead+b.timing.ReadPage, func() {
+				err := c.Read(addr, buf)
+				n := g.PageSize
+				b.wires.Acquire(func() {
+					xfer := b.timing.TransferTime(n)
+					b.stats.BytesOut += int64(n)
+					b.stats.Reads++
+					b.eng.Schedule(xfer, func() {
+						b.wires.Release()
+						if done != nil {
+							done(bits, err)
+						}
+					})
+				})
+			})
+		})
+	})
+}
+
+// ProgramMulti issues a multi-plane program: all addresses must be on the
+// same die. Payloads transfer sequentially on the bus; the single array
+// operation covers all planes. done(err) fires at completion with the first
+// commit error, if any.
+func (b *Bus) ProgramMulti(chip int, addrs []nand.Addr, data [][]byte, done func(error)) {
+	b.programMulti(chip, addrs, data, b.timing.ProgramPage, done)
+}
+
+func (b *Bus) programMulti(chip int, addrs []nand.Addr, data [][]byte, tprog sim.Time, done func(error)) {
+	if len(addrs) == 0 || len(data) != len(addrs) {
+		panic("onfi: ProgramMulti needs matching non-empty addrs and data")
+	}
+	c := b.checkChip(chip)
+	die := addrs[0].Die
+	for _, a := range addrs[1:] {
+		if a.Die != die {
+			panic("onfi: multi-plane program spans dies")
+		}
+	}
+	g := c.Geometry()
+	b.dies[chip][die].Acquire(func() {
+		b.wires.Acquire(func() {
+			var dur sim.Time
+			for i, a := range addrs {
+				confirm := CmdProgramConfirm
+				if i < len(addrs)-1 {
+					confirm = CmdProgramPlane
+				}
+				// Data burst sits between address cycles and the confirm
+				// command; emit in that order with correct offsets.
+				hdr := b.emitCmdAddrAt(chip, die, CmdProgramSetup, true, g.RowAddress(a), dur)
+				dur += hdr
+				n := g.PageSize
+				xfer := b.timing.TransferTime(n)
+				if b.observed() {
+					b.emit(BusEvent{Time: b.eng.Now() + dur, Dur: xfer, Bus: b.id, Chip: chip, Die: die, Kind: EventDataIn, Len: n})
+				}
+				dur += xfer
+				if b.observed() {
+					b.emit(BusEvent{Time: b.eng.Now() + dur, Bus: b.id, Chip: chip, Die: die, Kind: EventCmd, Byte: confirm})
+				}
+				dur += b.timing.CmdCycle
+				b.stats.CmdCycles++
+				b.stats.BytesIn += int64(n)
+			}
+			b.eng.Schedule(dur, func() {
+				if b.observed() {
+					b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: chip, Die: die, Kind: EventBusy})
+				}
+				b.wires.Release()
+				b.eng.Schedule(tprog, func() {
+					var err error
+					for i, a := range addrs {
+						if e := c.Program(a, data[i]); e != nil && err == nil {
+							err = e
+						}
+						b.stats.Programs++
+					}
+					if b.observed() {
+						b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: chip, Die: die, Kind: EventReady})
+					}
+					b.dies[chip][die].Release()
+					if done != nil {
+						done(err)
+					}
+				})
+			})
+		})
+	})
+}
+
+// emitCmdAddrAt is emitCmdAddr with events offset by `offset` from now, for
+// callers composing several segments under one bus hold.
+func (b *Bus) emitCmdAddrAt(chip, die int, cmd byte, withColumn bool, row uint32, offset sim.Time) sim.Time {
+	t := b.eng.Now() + offset
+	var dur sim.Time
+	emit := b.observed()
+	if emit {
+		b.emit(BusEvent{Time: t, Bus: b.id, Chip: chip, Die: die, Kind: EventCmd, Byte: cmd})
+	}
+	dur += b.timing.CmdCycle
+	b.stats.CmdCycles++
+	if withColumn {
+		for i := 0; i < ColumnAddrCycles; i++ {
+			if emit {
+				b.emit(BusEvent{Time: t + dur, Bus: b.id, Chip: chip, Die: die, Kind: EventAddr, Byte: 0})
+			}
+			dur += b.timing.AddrCycle
+		}
+	}
+	for _, ab := range RowBytes(row) {
+		if emit {
+			b.emit(BusEvent{Time: t + dur, Bus: b.id, Chip: chip, Die: die, Kind: EventAddr, Byte: ab})
+		}
+		dur += b.timing.AddrCycle
+	}
+	return dur
+}
+
+// Read fills buf (PageSize bytes, or nil) from addr on chip and calls
+// done(err) when the payload has fully transferred.
+func (b *Bus) Read(chip int, addr nand.Addr, buf []byte, done func(error)) {
+	c := b.checkChip(chip)
+	g := c.Geometry()
+	die := addr.Die
+	b.dies[chip][die].Acquire(func() {
+		// Phase 1: command + address + confirm, short bus hold.
+		b.wires.Acquire(func() {
+			dur := b.emitCmdAddrAt(chip, die, CmdReadSetup, true, g.RowAddress(addr), 0)
+			if b.observed() {
+				b.emit(BusEvent{Time: b.eng.Now() + dur, Bus: b.id, Chip: chip, Die: die, Kind: EventCmd, Byte: CmdReadConfirm})
+			}
+			dur += b.timing.CmdCycle
+			b.stats.CmdCycles++
+			b.eng.Schedule(dur, func() {
+				if b.observed() {
+					b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: chip, Die: die, Kind: EventBusy})
+				}
+				b.wires.Release()
+				// Phase 2: array read (bus free), then data-out transfer.
+				b.eng.Schedule(b.timing.ReadPage, func() {
+					err := c.Read(addr, buf)
+					if b.observed() {
+						b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: chip, Die: die, Kind: EventReady})
+					}
+					n := g.PageSize
+					b.wires.Acquire(func() {
+						xfer := b.timing.TransferTime(n)
+						if b.observed() {
+							b.emit(BusEvent{Time: b.eng.Now(), Dur: xfer, Bus: b.id, Chip: chip, Die: die, Kind: EventDataOut, Len: n})
+						}
+						b.stats.BytesOut += int64(n)
+						b.stats.Reads++
+						b.eng.Schedule(xfer, func() {
+							b.wires.Release()
+							b.dies[chip][die].Release()
+							if done != nil {
+								done(err)
+							}
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// EraseBG issues an erase whose array phase is suspendable by priority
+// reads (erase-suspend, standard on modern parts).
+func (b *Bus) EraseBG(chip int, addr nand.Addr, done func(error)) {
+	die := addr.Die
+	b.markSuspendable(chip, die, true)
+	b.Erase(chip, addr, func(err error) {
+		b.markSuspendable(chip, die, false)
+		if done != nil {
+			done(err)
+		}
+	})
+}
+
+// Erase erases the block containing addr on chip; done(err) fires when the
+// array operation completes.
+func (b *Bus) Erase(chip int, addr nand.Addr, done func(error)) {
+	c := b.checkChip(chip)
+	g := c.Geometry()
+	die := addr.Die
+	b.dies[chip][die].Acquire(func() {
+		b.wires.Acquire(func() {
+			dur := b.emitCmdAddrAt(chip, die, CmdEraseSetup, false, g.RowAddress(addr), 0)
+			if b.observed() {
+				b.emit(BusEvent{Time: b.eng.Now() + dur, Bus: b.id, Chip: chip, Die: die, Kind: EventCmd, Byte: CmdEraseConfirm})
+			}
+			dur += b.timing.CmdCycle
+			b.stats.CmdCycles++
+			b.eng.Schedule(dur, func() {
+				if b.observed() {
+					b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: chip, Die: die, Kind: EventBusy})
+				}
+				b.wires.Release()
+				b.eng.Schedule(b.timing.EraseBlock, func() {
+					err := c.Erase(addr)
+					b.stats.Erases++
+					if b.observed() {
+						b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: chip, Die: die, Kind: EventReady})
+					}
+					b.dies[chip][die].Release()
+					if done != nil {
+						done(err)
+					}
+				})
+			})
+		})
+	})
+}

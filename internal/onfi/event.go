@@ -1,0 +1,76 @@
+package onfi
+
+import "ssdtp/internal/sim"
+
+// EventKind classifies bus activity visible at the package pinout.
+type EventKind int
+
+// Bus event kinds.
+const (
+	// EventCmd is one command cycle: CLE high, one byte latched on WE#.
+	EventCmd EventKind = iota
+	// EventAddr is one address cycle: ALE high, one byte latched on WE#.
+	EventAddr
+	// EventDataIn is a host-to-chip data burst (program payload): Len bytes
+	// over Dur, WE# toggling.
+	EventDataIn
+	// EventDataOut is a chip-to-host data burst (read payload): Len bytes
+	// over Dur, RE# toggling.
+	EventDataOut
+	// EventBusy is R/B# falling: the die begins an array operation.
+	EventBusy
+	// EventReady is R/B# rising: the array operation finished.
+	EventReady
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventCmd:
+		return "CMD"
+	case EventAddr:
+		return "ADDR"
+	case EventDataIn:
+		return "DIN"
+	case EventDataOut:
+		return "DOUT"
+	case EventBusy:
+		return "BUSY"
+	case EventReady:
+		return "READY"
+	default:
+		return "?"
+	}
+}
+
+// BusEvent is one observable transaction segment on a channel bus. Raw pin
+// waveforms are synthesized from these by sigtrace; firmware-level intent
+// (which logical operation this belongs to) is deliberately absent — a
+// decoder has to reconstruct it, exactly as with a real logic analyzer.
+type BusEvent struct {
+	Time sim.Time // start of the segment
+	Dur  sim.Time // duration (0 for edge events)
+	Bus  int      // channel index
+	Chip int      // CE# target
+	Die  int      // LUN (meaningful for Busy/Ready)
+	Kind EventKind
+	Byte byte // command or address byte (EventCmd/EventAddr)
+	Len  int  // payload bytes (EventDataIn/EventDataOut)
+	// Data carries the payload bytes for identification transfers (READ ID
+	// and parameter-page reads) — the short bursts a real analyzer decodes
+	// byte-by-byte. Bulk page payloads are not captured (Len/Dur only),
+	// matching the trigger-window economics of probing hardware.
+	Data []byte
+}
+
+// Observer receives bus events as they are emitted. Implementations must not
+// retain the event past the call unless they copy it (it is passed by value,
+// so ordinary assignment copies).
+type Observer interface {
+	OnBusEvent(ev BusEvent)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(BusEvent)
+
+// OnBusEvent calls f(ev).
+func (f ObserverFunc) OnBusEvent(ev BusEvent) { f(ev) }

@@ -1,0 +1,99 @@
+package onfi
+
+import (
+	"ssdtp/internal/nand"
+	"ssdtp/internal/sim"
+)
+
+// ReadID issues the ONFI READ ID sequence (0x90 + address 0x00, five data
+// bytes out) and delivers the identification bytes. Controllers run this at
+// power-on for every chip — which is why a probe attached before boot
+// learns the flash population (§3.1).
+func (b *Bus) ReadID(chip int, done func([5]byte, error)) {
+	c := b.checkChip(chip)
+	b.wires.Acquire(func() {
+		var dur sim.Time
+		if b.observed() {
+			b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: chip, Kind: EventCmd, Byte: CmdReadID})
+		}
+		dur += b.timing.CmdCycle
+		b.stats.CmdCycles++
+		if b.observed() {
+			b.emit(BusEvent{Time: b.eng.Now() + dur, Bus: b.id, Chip: chip, Kind: EventAddr, Byte: 0})
+		}
+		dur += b.timing.AddrCycle
+		id := c.IDBytes()
+		xfer := b.timing.TransferTime(len(id))
+		if b.observed() {
+			b.emit(BusEvent{
+				Time: b.eng.Now() + dur, Dur: xfer, Bus: b.id, Chip: chip,
+				Kind: EventDataOut, Len: len(id), Data: append([]byte(nil), id[:]...),
+			})
+		}
+		dur += xfer
+		b.eng.Schedule(dur, func() {
+			b.wires.Release()
+			if done != nil {
+				done(id, nil)
+			}
+		})
+	})
+}
+
+// ReadParameterPage issues the ONFI READ PARAMETER PAGE sequence (0xEC +
+// address 0x00, tR, then the page out) and delivers the parameter page.
+func (b *Bus) ReadParameterPage(chip int, done func([]byte, error)) {
+	c := b.checkChip(chip)
+	b.wires.Acquire(func() {
+		var dur sim.Time
+		if b.observed() {
+			b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: chip, Kind: EventCmd, Byte: CmdReadParamPage})
+		}
+		dur += b.timing.CmdCycle
+		b.stats.CmdCycles++
+		if b.observed() {
+			b.emit(BusEvent{Time: b.eng.Now() + dur, Bus: b.id, Chip: chip, Kind: EventAddr, Byte: 0})
+		}
+		dur += b.timing.AddrCycle
+		b.eng.Schedule(dur, func() {
+			if b.observed() {
+				b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: chip, Kind: EventBusy})
+			}
+			b.wires.Release()
+			b.eng.Schedule(b.timing.ReadPage, func() {
+				page := c.ParameterPage()
+				if b.observed() {
+					b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: chip, Kind: EventReady})
+				}
+				b.wires.Acquire(func() {
+					xfer := b.timing.TransferTime(len(page))
+					if b.observed() {
+						b.emit(BusEvent{
+							Time: b.eng.Now(), Dur: xfer, Bus: b.id, Chip: chip,
+							Kind: EventDataOut, Len: len(page), Data: append([]byte(nil), page...),
+						})
+					}
+					b.eng.Schedule(xfer, func() {
+						b.wires.Release()
+						if done != nil {
+							done(page, nil)
+						}
+					})
+				})
+			})
+		})
+	})
+}
+
+// ReadEx is Read with the chip's raw bit-error count for the page delivered
+// alongside completion — what the controller's ECC engine reports and the
+// FTL's refresh logic consumes.
+func (b *Bus) ReadEx(chip int, addr nand.Addr, buf []byte, done func(bitErrors int, err error)) {
+	c := b.checkChip(chip)
+	bits := c.BitErrors(addr)
+	b.Read(chip, addr, buf, func(err error) {
+		if done != nil {
+			done(bits, err)
+		}
+	})
+}

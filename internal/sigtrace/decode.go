@@ -1,0 +1,200 @@
+package sigtrace
+
+import (
+	"fmt"
+
+	"ssdtp/internal/onfi"
+	"ssdtp/internal/sim"
+)
+
+// OpKind classifies a decoded flash operation.
+type OpKind int
+
+// Decoded operation kinds.
+const (
+	OpUnknown OpKind = iota
+	OpRead
+	OpProgram
+	OpErase
+	OpReset
+	OpReadID
+	OpReadParam
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "READ"
+	case OpProgram:
+		return "PROGRAM"
+	case OpErase:
+		return "ERASE"
+	case OpReset:
+		return "RESET"
+	case OpReadID:
+		return "READ-ID"
+	case OpReadParam:
+		return "READ-PARAM-PAGE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Op is one reconstructed flash operation.
+type Op struct {
+	Kind       OpKind
+	Start, End sim.Time
+	Chip, Die  int
+	// Rows holds the row address of each plane touched (multi-plane
+	// programs carry several).
+	Rows []uint32
+	// DataBytes is the payload volume transferred.
+	DataBytes int
+	// BusyTime is the R/B#-low interval — tR, tPROG or tBERS, which is how
+	// a probe distinguishes SLC-mode from TLC-mode programs.
+	BusyTime sim.Time
+	// Planes is the number of plane operations ganged into this op.
+	Planes int
+	// Data carries captured payload bytes for identification transfers
+	// (READ ID, parameter page).
+	Data []byte
+}
+
+func (o Op) String() string {
+	return fmt.Sprintf("%v chip%d die%d rows%v %dB busy=%dus",
+		o.Kind, o.Chip, o.Die, o.Rows, o.DataBytes, o.BusyTime/sim.Microsecond)
+}
+
+// Decode reconstructs flash operations from a captured event stream. It
+// maintains one protocol state machine per (chip, die) — exactly what a
+// protocol-aware logic analyzer does with CE#/LUN decoding.
+func Decode(events []onfi.BusEvent) []Op {
+	type key struct{ chip, die int }
+	states := make(map[key]*decodeState)
+	var out []Op
+	for _, ev := range events {
+		k := key{ev.Chip, ev.Die}
+		st, ok := states[k]
+		if !ok {
+			st = &decodeState{}
+			states[k] = st
+		}
+		if op := st.feed(ev); op != nil {
+			out = append(out, *op)
+		}
+	}
+	return out
+}
+
+// decodeState is the per-die protocol state machine.
+type decodeState struct {
+	cur      *Op
+	addrBuf  []byte
+	pendKind OpKind
+	sawBusy  bool
+	busyAt   sim.Time
+	awaitOut bool // read: data-out follows ready
+}
+
+// finishAddr converts buffered address cycles into a row address. Reads and
+// programs carry 2 column + 3 row cycles; erase carries 3 row cycles.
+func (st *decodeState) finishAddr() (uint32, bool) {
+	n := len(st.addrBuf)
+	if n >= 3 {
+		b := st.addrBuf[n-3:]
+		return onfi.RowFromBytes([3]byte{b[0], b[1], b[2]}), true
+	}
+	return 0, false
+}
+
+func (st *decodeState) begin(kind OpKind, ev onfi.BusEvent) {
+	st.cur = &Op{Kind: kind, Start: ev.Time, Chip: ev.Chip, Die: ev.Die}
+	st.pendKind = kind
+	st.addrBuf = st.addrBuf[:0]
+	st.sawBusy = false
+	st.awaitOut = false
+}
+
+// feed consumes one event; it returns a completed Op when one finishes.
+func (st *decodeState) feed(ev onfi.BusEvent) *Op {
+	switch ev.Kind {
+	case onfi.EventCmd:
+		switch ev.Byte {
+		case onfi.CmdReadSetup:
+			st.begin(OpRead, ev)
+		case onfi.CmdProgramSetup:
+			if st.cur == nil || st.cur.Kind != OpProgram {
+				st.begin(OpProgram, ev)
+			} else {
+				st.addrBuf = st.addrBuf[:0] // next plane's address
+			}
+		case onfi.CmdEraseSetup:
+			st.begin(OpErase, ev)
+		case onfi.CmdReset:
+			op := &Op{Kind: OpReset, Start: ev.Time, End: ev.Time, Chip: ev.Chip, Die: ev.Die}
+			st.cur = nil
+			return op
+		case onfi.CmdReadID:
+			st.begin(OpReadID, ev)
+			st.awaitOut = true
+		case onfi.CmdReadParamPage:
+			st.begin(OpReadParam, ev)
+			st.awaitOut = true
+		case onfi.CmdReadConfirm, onfi.CmdEraseConfirm:
+			if st.cur != nil {
+				if row, ok := st.finishAddr(); ok {
+					st.cur.Rows = append(st.cur.Rows, row)
+					st.cur.Planes++
+				}
+			}
+		case onfi.CmdProgramPlane, onfi.CmdProgramConfirm:
+			if st.cur != nil {
+				if row, ok := st.finishAddr(); ok {
+					st.cur.Rows = append(st.cur.Rows, row)
+					st.cur.Planes++
+				}
+				st.addrBuf = st.addrBuf[:0]
+			}
+		}
+	case onfi.EventAddr:
+		st.addrBuf = append(st.addrBuf, ev.Byte)
+	case onfi.EventDataIn:
+		if st.cur != nil {
+			st.cur.DataBytes += ev.Len
+		}
+	case onfi.EventDataOut:
+		if st.cur != nil {
+			st.cur.DataBytes += ev.Len
+			if len(ev.Data) > 0 {
+				st.cur.Data = append(st.cur.Data, ev.Data...)
+			}
+			if st.awaitOut {
+				st.cur.End = ev.Time + ev.Dur
+				op := st.cur
+				st.cur = nil
+				return op
+			}
+		}
+	case onfi.EventBusy:
+		st.sawBusy = true
+		st.busyAt = ev.Time
+	case onfi.EventReady:
+		if st.cur == nil {
+			return nil
+		}
+		if st.sawBusy {
+			st.cur.BusyTime = ev.Time - st.busyAt
+		}
+		switch st.cur.Kind {
+		case OpRead, OpReadParam:
+			// Payload still to come on the bus.
+			st.awaitOut = true
+		default:
+			st.cur.End = ev.Time
+			op := st.cur
+			st.cur = nil
+			return op
+		}
+	}
+	return nil
+}

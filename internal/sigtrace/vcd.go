@@ -1,0 +1,110 @@
+package sigtrace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ssdtp/internal/onfi"
+	"ssdtp/internal/sim"
+)
+
+// WriteVCD renders a captured event stream as a Value Change Dump file —
+// the interchange format every waveform viewer (GTKWave, PulseView, vendor
+// analyzer software) reads. Signals: CLE, ALE, WE#, RE#, R/B#, and the DQ
+// bus as an 8-bit vector (command/address bytes are visible; bulk payload
+// renders as 'x' since analyzers in transitional-storage mode do not retain
+// it).
+func WriteVCD(w io.Writer, events []onfi.BusEvent) error {
+	type change struct {
+		t   sim.Time
+		sig byte // identifier code
+		val string
+	}
+	var changes []change
+	add := func(t sim.Time, sig byte, val string) {
+		changes = append(changes, change{t, sig, val})
+	}
+	const (
+		sigCLE = '!'
+		sigALE = '"'
+		sigWE  = '#'
+		sigRE  = '$'
+		sigRB  = '%'
+		sigDQ  = '&'
+	)
+	var end sim.Time
+	for _, ev := range events {
+		if ev.Time+ev.Dur > end {
+			end = ev.Time + ev.Dur
+		}
+		switch ev.Kind {
+		case onfi.EventCmd:
+			add(ev.Time, sigCLE, "1")
+			add(ev.Time, sigWE, "0")
+			add(ev.Time, sigDQ, fmt.Sprintf("b%b", ev.Byte))
+			add(ev.Time+10, sigCLE, "0")
+			add(ev.Time+10, sigWE, "1")
+		case onfi.EventAddr:
+			add(ev.Time, sigALE, "1")
+			add(ev.Time, sigWE, "0")
+			add(ev.Time, sigDQ, fmt.Sprintf("b%b", ev.Byte))
+			add(ev.Time+10, sigALE, "0")
+			add(ev.Time+10, sigWE, "1")
+		case onfi.EventDataIn:
+			add(ev.Time, sigWE, "0")
+			add(ev.Time, sigDQ, "bx")
+			add(ev.Time+ev.Dur, sigWE, "1")
+		case onfi.EventDataOut:
+			add(ev.Time, sigRE, "0")
+			add(ev.Time, sigDQ, "bx")
+			add(ev.Time+ev.Dur, sigRE, "1")
+		case onfi.EventBusy:
+			add(ev.Time, sigRB, "0")
+		case onfi.EventReady:
+			add(ev.Time, sigRB, "1")
+		}
+	}
+	sort.SliceStable(changes, func(i, j int) bool { return changes[i].t < changes[j].t })
+
+	if _, err := fmt.Fprint(w, "$date simulated $end\n$version ssdtp sigtrace $end\n$timescale 1ns $end\n$scope module onfi $end\n"); err != nil {
+		return err
+	}
+	decls := []struct {
+		code byte
+		name string
+		bits int
+	}{
+		{sigCLE, "CLE", 1}, {sigALE, "ALE", 1}, {sigWE, "WE_n", 1},
+		{sigRE, "RE_n", 1}, {sigRB, "RB_n", 1}, {sigDQ, "DQ", 8},
+	}
+	for _, d := range decls {
+		kind := "wire"
+		if _, err := fmt.Fprintf(w, "$var %s %d %c %s $end\n", kind, d.bits, d.code, d.name); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "$upscope $end\n$enddefinitions $end\n#0\n0!\n0\"\n1#\n1$\n1%\nbx &\n"); err != nil {
+		return err
+	}
+	last := sim.Time(0)
+	for _, c := range changes {
+		if c.t != last {
+			if _, err := fmt.Fprintf(w, "#%d\n", c.t); err != nil {
+				return err
+			}
+			last = c.t
+		}
+		var err error
+		if c.sig == sigDQ {
+			_, err = fmt.Fprintf(w, "%s %c\n", c.val, c.sig)
+		} else {
+			_, err = fmt.Fprintf(w, "%s%c\n", c.val, c.sig)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "#%d\n", end+1)
+	return err
+}

@@ -1,0 +1,175 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All hardware models in this repository (NAND dies, ONFI buses, FTL
+// background work, SSD request queues) advance a shared simulated clock by
+// scheduling callbacks on an Engine. Time is measured in integer nanoseconds
+// and never tied to the wall clock, so every experiment is reproducible
+// bit-for-bit from its seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point on (or a span of) the simulated clock, in nanoseconds.
+type Time = int64
+
+// Convenient duration units, in simulated nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Event is a scheduled callback. It is returned by Schedule/At so callers
+// can cancel pending work (for example an idle timer that is superseded by
+// a new request).
+type Event struct {
+	time     Time
+	seq      uint64
+	index    int // heap index; -1 when not queued
+	fn       func()
+	canceled bool
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+// Time returns the simulated time the event fires at.
+func (ev *Event) Time() Time { return ev.time }
+
+// Cancel prevents a pending event from firing. Canceling an event that has
+// already fired (or was already canceled) is a no-op.
+func (ev *Event) Cancel() { ev.canceled = true }
+
+// Engine is a discrete-event scheduler. The zero value is not usable; create
+// engines with NewEngine. Engine is not safe for concurrent use: the
+// simulation is single-threaded by design so that event ordering — and hence
+// every measured latency — is deterministic.
+type Engine struct {
+	now Time
+	pq  eventHeap
+	seq uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events queued (including canceled events
+// that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Schedule queues fn to run delay nanoseconds from now. A negative delay is
+// treated as zero. Events scheduled for the same instant fire in the order
+// they were scheduled.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At queues fn to run at absolute simulated time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d, before now=%d", t, e.now))
+	}
+	e.seq++
+	ev := &Event{time: t, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// Step fires the next pending event (skipping canceled ones) and advances
+// the clock to its time. It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.time
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with time <= t, then advances the clock to exactly t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.pq) > 0 {
+		next := e.pq[0]
+		if next.canceled {
+			heap.Pop(&e.pq)
+			continue
+		}
+		if next.time > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunWhile fires events as long as cond() returns true and events remain.
+// It reports whether cond is still true when it returns (i.e. the queue
+// drained before cond flipped).
+func (e *Engine) RunWhile(cond func() bool) bool {
+	for cond() {
+		if !e.Step() {
+			return true
+		}
+	}
+	return false
+}
+
+// eventHeap orders events by (time, seq) so same-instant events fire in
+// scheduling order.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, d := range []Time{50, 10, 30, 20, 40} {
+		d := d
+		e.Schedule(d, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []Time{10, 20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {
+		e.Schedule(-5, func() {
+			if e.Now() != 100 {
+				t.Errorf("negative delay fired at %d, want 100", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At() in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(10, func() { count++ })
+	e.Schedule(20, func() { count++ })
+	e.Schedule(30, func() { count++ })
+	e.RunUntil(25)
+	if count != 2 {
+		t.Errorf("fired %d events by t=25, want 2", count)
+	}
+	if e.Now() != 25 {
+		t.Errorf("Now() = %d after RunUntil(25), want 25", e.Now())
+	}
+	e.Run()
+	if count != 3 {
+		t.Errorf("fired %d events total, want 3", count)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(1, recurse)
+		}
+	}
+	e.Schedule(0, recurse)
+	e.Run()
+	if depth != 100 {
+		t.Errorf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 99 {
+		t.Errorf("Now() = %d, want 99", e.Now())
+	}
+}
+
+// Property: however delays are drawn, events fire in sorted order of their
+// absolute times.
+func TestFireOrderIsSortedProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, d := range delays {
+			e.Schedule(Time(d), func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		r.Use(10, func() { order = append(order, i) }, nil)
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("resource granted out of order: %v", order)
+		}
+	}
+	if r.Busy() {
+		t.Error("resource still busy after drain")
+	}
+	if got := r.BusyTime(); got != 50 {
+		t.Errorf("BusyTime = %d, want 50", got)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		r.Use(100, nil, func() { ends = append(ends, e.Now()) })
+	}
+	e.Run()
+	want := []Time{100, 200, 300}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Errorf("use %d ended at %d, want %d", i, ends[i], want[i])
+		}
+	}
+}
+
+func TestResourceReleaseIdlePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Release of idle resource did not panic")
+		}
+	}()
+	NewResource(NewEngine()).Release()
+}
+
+// Property: interleaved random acquire/hold patterns never exceed unit
+// capacity (at most one holder at a time).
+func TestResourceUnitCapacityProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		r := NewResource(e)
+		holders := 0
+		ok := true
+		for i := 0; i < int(n%40)+1; i++ {
+			hold := Time(rng.Intn(50) + 1)
+			e.Schedule(Time(rng.Intn(100)), func() {
+				r.Acquire(func() {
+					holders++
+					if holders > 1 {
+						ok = false
+					}
+					e.Schedule(hold, func() {
+						holders--
+						r.Release()
+					})
+				})
+			})
+		}
+		e.Run()
+		return ok && holders == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	// Events processed per second: the simulator's fundamental cost.
+	eng := NewEngine()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			eng.Schedule(100, tick)
+		}
+	}
+	eng.Schedule(0, tick)
+	b.ResetTimer()
+	eng.Run()
+}

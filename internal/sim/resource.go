@@ -1,0 +1,76 @@
+package sim
+
+// Resource models a unit-capacity resource (a bus, a die) with FIFO
+// admission. Users Acquire it with a callback that runs once the resource is
+// free; the callback must eventually arrange for Release to be called (often
+// after a Schedule'd delay).
+type Resource struct {
+	eng     *Engine
+	busy    bool
+	waiters []func()
+	// BusySince records when the current holder acquired the resource,
+	// for utilization accounting.
+	BusySince Time
+	busyTotal Time
+}
+
+// NewResource returns an idle resource bound to eng.
+func NewResource(eng *Engine) *Resource {
+	return &Resource{eng: eng}
+}
+
+// Busy reports whether the resource is currently held.
+func (r *Resource) Busy() bool { return r.busy }
+
+// QueueLen returns the number of waiters (excluding the current holder).
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// BusyTime returns the cumulative simulated time the resource has been held.
+func (r *Resource) BusyTime() Time { return r.busyTotal }
+
+// Acquire runs fn as soon as the resource is free (immediately if idle).
+// fn runs synchronously when the resource is granted; do not block in it.
+func (r *Resource) Acquire(fn func()) {
+	if !r.busy {
+		r.busy = true
+		r.BusySince = r.eng.Now()
+		fn()
+		return
+	}
+	r.waiters = append(r.waiters, fn)
+}
+
+// Release frees the resource and grants it to the next waiter, if any.
+// Panics if the resource is not held: that is always a model bug.
+func (r *Resource) Release() {
+	if !r.busy {
+		panic("sim: Release of idle resource")
+	}
+	r.busyTotal += r.eng.Now() - r.BusySince
+	if len(r.waiters) == 0 {
+		r.busy = false
+		return
+	}
+	next := r.waiters[0]
+	copy(r.waiters, r.waiters[1:])
+	r.waiters = r.waiters[:len(r.waiters)-1]
+	r.BusySince = r.eng.Now()
+	next()
+}
+
+// Use is a convenience for the common hold-for-a-duration pattern: it
+// acquires the resource, runs start (which may be nil), holds the resource
+// for d, then releases and runs done (which may be nil).
+func (r *Resource) Use(d Time, start, done func()) {
+	r.Acquire(func() {
+		if start != nil {
+			start()
+		}
+		r.eng.Schedule(d, func() {
+			r.Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}

@@ -1,0 +1,272 @@
+package ssd
+
+import (
+	"fmt"
+
+	"ssdtp/internal/ftl"
+	"ssdtp/internal/nand"
+	"ssdtp/internal/sim"
+	"ssdtp/internal/smart"
+)
+
+// Config describes one SSD model.
+type Config struct {
+	// Name labels the model in reports.
+	Name string
+
+	Channels        int
+	ChipsPerChannel int
+	Geometry        nand.Geometry
+	Timing          nand.Timing
+
+	// FTL carries the translation-layer design point. Geometry, channel
+	// shape and sector size are filled in by NewDevice.
+	FTL ftl.Config
+
+	// CounterUnitBytes is how much programmed flash increments the
+	// S.M.A.R.T. "NAND Pages" counters by one. The MX500 counts dual-plane
+	// 16 KB program pairs: 32 KB per tick. 0 defaults to the page size.
+	CounterUnitBytes int
+
+	// HostOverhead is per-request interface/firmware processing time.
+	HostOverhead sim.Time
+
+	// StoreContent retains write payloads so reads return real data
+	// (needed by the file-system experiments; off for pure timing runs).
+	StoreContent bool
+
+	// ChipID identifies the flash parts (READ ID / parameter page).
+	ChipID nand.ChipID
+	// Reliability enables the NAND bit-error model on every chip.
+	Reliability nand.Reliability
+	// WearLimit, if positive, is the per-block erase endurance; blocks
+	// past it fail and the FTL retires them.
+	WearLimit int
+}
+
+// Device is a complete simulated SSD. All I/O entry points are asynchronous
+// on the simulation engine; Sync* wrappers (sync.go) drive the engine for
+// callers that want a plain block-device view.
+type Device struct {
+	eng   *sim.Engine
+	cfg   Config
+	array *Array
+	fl    *ftl.FTL
+
+	sectorSize int
+	content    map[int64][]byte // sector payloads when StoreContent
+
+	hostBytesWritten int64
+	hostBytesRead    int64
+}
+
+// NewDevice assembles a device on eng per cfg.
+func NewDevice(eng *sim.Engine, cfg Config) *Device {
+	fcfg := cfg.FTL
+	fcfg.Geometry = cfg.Geometry
+	fcfg.Channels = cfg.Channels
+	fcfg.ChipsPerChannel = cfg.ChipsPerChannel
+	if fcfg.SectorSize == 0 {
+		fcfg.SectorSize = 4096
+	}
+	if cfg.CounterUnitBytes == 0 {
+		cfg.CounterUnitBytes = cfg.Geometry.PageSize
+	}
+	if cfg.HostOverhead == 0 {
+		cfg.HostOverhead = 5 * sim.Microsecond
+	}
+	array := NewArray(eng, ArrayConfig{
+		Channels:        cfg.Channels,
+		ChipsPerChannel: cfg.ChipsPerChannel,
+		Geometry:        cfg.Geometry,
+		Timing:          cfg.Timing,
+		ID:              cfg.ChipID,
+		Reliability:     cfg.Reliability,
+		WearLimit:       cfg.WearLimit,
+	})
+	d := &Device{
+		eng:        eng,
+		cfg:        cfg,
+		array:      array,
+		fl:         ftl.New(eng, array, fcfg),
+		sectorSize: fcfg.SectorSize,
+	}
+	if cfg.StoreContent {
+		d.content = make(map[int64][]byte)
+	}
+	return d
+}
+
+// Engine returns the simulation engine the device runs on.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// Boot runs the controller's power-on sequence (chip enumeration). Optional
+// for experiments that only need the data path; reverse-engineering rigs
+// call it while probes are attached.
+func (d *Device) Boot(done func()) { d.array.Enumerate(done) }
+
+// Mount simulates the boot-time mapping-table reload (see ftl.Mount): chip
+// enumeration followed by the map read, eager or on-demand.
+func (d *Device) Mount(eager bool, done func()) {
+	d.array.Enumerate(func() {
+		d.fl.Mount(eager, done)
+	})
+}
+
+// Name returns the model name.
+func (d *Device) Name() string { return d.cfg.Name }
+
+// FTL exposes the translation layer. Reverse-engineering code must not call
+// this — it is ground truth for validation and for the firmware package.
+func (d *Device) FTL() *ftl.FTL { return d.fl }
+
+// Array exposes the flash array (probe attachment, teardown inspection).
+func (d *Device) Array() *Array { return d.array }
+
+// Size returns host-visible capacity in bytes.
+func (d *Device) Size() int64 {
+	return d.fl.LogicalSectors() * int64(d.sectorSize)
+}
+
+// SectorSize returns the logical sector size.
+func (d *Device) SectorSize() int { return d.sectorSize }
+
+// HostBytesWritten returns total bytes the host has written.
+func (d *Device) HostBytesWritten() int64 { return d.hostBytesWritten }
+
+// checkIO validates an async I/O range.
+func (d *Device) checkIO(off, n int64) error {
+	if off < 0 || n < 0 || off+n > d.Size() {
+		return fmt.Errorf("ssd %s: access [%d,+%d) beyond size %d", d.cfg.Name, off, n, d.Size())
+	}
+	if off%int64(d.sectorSize) != 0 || n%int64(d.sectorSize) != 0 {
+		return fmt.Errorf("ssd %s: unaligned access off=%d len=%d", d.cfg.Name, off, n)
+	}
+	return nil
+}
+
+// WriteAsync submits a host write; done fires at request completion. data
+// may be nil for timing-only workloads (with StoreContent off).
+func (d *Device) WriteAsync(off int64, data []byte, length int64, done func()) error {
+	if data != nil {
+		length = int64(len(data))
+	}
+	if err := d.checkIO(off, length); err != nil {
+		return err
+	}
+	if d.content != nil && data != nil {
+		for i := int64(0); i < length; i += int64(d.sectorSize) {
+			sec := (off + i) / int64(d.sectorSize)
+			buf, ok := d.content[sec]
+			if !ok {
+				buf = make([]byte, d.sectorSize)
+				d.content[sec] = buf
+			}
+			copy(buf, data[i:i+int64(d.sectorSize)])
+		}
+	}
+	d.hostBytesWritten += length
+	lsn := off / int64(d.sectorSize)
+	count := int(length / int64(d.sectorSize))
+	d.eng.Schedule(d.cfg.HostOverhead, func() {
+		if err := d.fl.Write(lsn, count, done); err != nil {
+			panic(err) // range was validated above; this is a model bug
+		}
+	})
+	return nil
+}
+
+// ReadAsync submits a host read; done fires when all data is available. buf
+// may be nil for timing-only workloads.
+func (d *Device) ReadAsync(off int64, buf []byte, length int64, done func()) error {
+	if buf != nil {
+		length = int64(len(buf))
+	}
+	if err := d.checkIO(off, length); err != nil {
+		return err
+	}
+	if d.content != nil && buf != nil {
+		for i := int64(0); i < length; i += int64(d.sectorSize) {
+			sec := (off + i) / int64(d.sectorSize)
+			if s, ok := d.content[sec]; ok {
+				copy(buf[i:i+int64(d.sectorSize)], s)
+			} else {
+				clear(buf[i : i+int64(d.sectorSize)])
+			}
+		}
+	}
+	d.hostBytesRead += length
+	lsn := off / int64(d.sectorSize)
+	count := int(length / int64(d.sectorSize))
+	d.eng.Schedule(d.cfg.HostOverhead, func() {
+		if err := d.fl.Read(lsn, count, done); err != nil {
+			panic(err)
+		}
+	})
+	return nil
+}
+
+// TrimAsync discards a range.
+func (d *Device) TrimAsync(off, length int64, done func()) error {
+	if err := d.checkIO(off, length); err != nil {
+		return err
+	}
+	if d.content != nil {
+		for i := int64(0); i < length; i += int64(d.sectorSize) {
+			delete(d.content, (off+i)/int64(d.sectorSize))
+		}
+	}
+	lsn := off / int64(d.sectorSize)
+	count := int(length / int64(d.sectorSize))
+	d.eng.Schedule(d.cfg.HostOverhead, func() {
+		if err := d.fl.Trim(lsn, count); err != nil {
+			panic(err)
+		}
+		if done != nil {
+			done()
+		}
+	})
+	return nil
+}
+
+// FlushAsync drains the device write cache and settles background work.
+func (d *Device) FlushAsync(done func()) {
+	d.eng.Schedule(d.cfg.HostOverhead, func() {
+		d.fl.Flush(done)
+	})
+}
+
+// SMART renders the current S.M.A.R.T. attribute table. Counter semantics
+// follow the MX500's documented attributes: 246 counts host sectors, 247/248
+// count "NAND Pages" in CounterUnitBytes units — the opaque unit whose
+// meaning the paper's Figure 4a experiment has to infer.
+func (d *Device) SMART() *smart.Table {
+	c := d.fl.Counters()
+	unit := int64(d.cfg.CounterUnitBytes)
+	page := int64(d.cfg.Geometry.PageSize)
+	t := smart.NewTable()
+	t.Define(smart.AttrTotalHostSectorWrites, "Total_Host_Sector_Writes")
+	t.Set(smart.AttrTotalHostSectorWrites, c.HostSectorsWritten)
+	t.Define(smart.AttrHostProgramPageCount, "Host_Program_Page_Count")
+	t.Set(smart.AttrHostProgramPageCount, c.DataPagesProgrammed*page/unit)
+	t.Define(smart.AttrFTLProgramPageCount, "FTL_Program_Page_Count")
+	ftlPages := c.GCPagesProgrammed + c.MapPagesProgrammed + c.ParityPagesProgrammed
+	t.Set(smart.AttrFTLProgramPageCount, ftlPages*page/unit)
+	t.Define(smart.AttrTotalLBAsWritten, "Total_LBAs_Written")
+	t.Set(smart.AttrTotalLBAsWritten, d.hostBytesWritten/512)
+	maxErase, _ := d.array.WearStats()
+	t.Define(smart.AttrWearLevelingCount, "Wear_Leveling_Count")
+	t.Set(smart.AttrWearLevelingCount, int64(maxErase))
+	t.Define(smart.AttrPowerOnHours, "Power_On_Hours")
+	t.Set(smart.AttrPowerOnHours, int64(d.eng.Now()/(3600*sim.Second)))
+	return t
+}
+
+// NANDPageTicks returns the combined host+FTL "NAND Pages" counter, the
+// quantity Figure 4 divides host bytes by.
+func (d *Device) NANDPageTicks() int64 {
+	c := d.fl.Counters()
+	page := int64(d.cfg.Geometry.PageSize)
+	unit := int64(d.cfg.CounterUnitBytes)
+	return c.PagesProgrammed() * page / unit
+}

@@ -1,0 +1,18 @@
+package ssd_test
+
+import (
+	"fmt"
+
+	"ssdtp/internal/sim"
+	"ssdtp/internal/ssd"
+)
+
+func ExampleNewDevice() {
+	eng := sim.NewEngine()
+	dev := ssd.NewDevice(eng, ssd.MX500())
+	done := false
+	_ = dev.WriteAsync(0, nil, 65536, func() { done = true })
+	eng.RunWhile(func() bool { return !done })
+	fmt.Printf("64 KB written by t=%dµs\n", eng.Now()/sim.Microsecond)
+	// Output: 64 KB written by t=10µs
+}

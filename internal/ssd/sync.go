@@ -1,0 +1,54 @@
+package ssd
+
+// SyncDev adapts a Device to the synchronous blockdev.Device interface by
+// driving the simulation engine until each request completes. Use it from
+// code structured around blocking I/O (the file systems in fsim); do not mix
+// with concurrently outstanding async requests on the same engine unless the
+// interleaving is intended — the engine will run them too.
+type SyncDev struct {
+	D *Device
+}
+
+// ReadAt implements blockdev.Device.
+func (s SyncDev) ReadAt(p []byte, off int64) error {
+	done := false
+	if err := s.D.ReadAsync(off, p, 0, func() { done = true }); err != nil {
+		return err
+	}
+	s.D.eng.RunWhile(func() bool { return !done })
+	return nil
+}
+
+// WriteAt implements blockdev.Device.
+func (s SyncDev) WriteAt(p []byte, off int64) error {
+	done := false
+	if err := s.D.WriteAsync(off, p, 0, func() { done = true }); err != nil {
+		return err
+	}
+	s.D.eng.RunWhile(func() bool { return !done })
+	return nil
+}
+
+// Trim implements blockdev.Device.
+func (s SyncDev) Trim(off, length int64) error {
+	done := false
+	if err := s.D.TrimAsync(off, length, func() { done = true }); err != nil {
+		return err
+	}
+	s.D.eng.RunWhile(func() bool { return !done })
+	return nil
+}
+
+// Flush implements blockdev.Device.
+func (s SyncDev) Flush() error {
+	done := false
+	s.D.FlushAsync(func() { done = true })
+	s.D.eng.RunWhile(func() bool { return !done })
+	return nil
+}
+
+// Size implements blockdev.Device.
+func (s SyncDev) Size() int64 { return s.D.Size() }
+
+// SectorSize implements blockdev.Device.
+func (s SyncDev) SectorSize() int { return s.D.SectorSize() }

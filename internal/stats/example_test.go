@@ -1,0 +1,24 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"ssdtp/internal/stats"
+)
+
+func ExampleWeightedWAF() {
+	// The paper's §2.2 additive model: per-workload WAFs weighted by IOPS.
+	wafs := []float64{0.5, 0.6, 0.55}
+	iops := []float64{30000, 25000, 6000}
+	fmt.Printf("%.3f\n", stats.WeightedWAF(wafs, iops))
+	// Output: 0.546
+}
+
+func ExampleLatencyRecorder() {
+	r := stats.NewLatencyRecorder()
+	for _, v := range []int64{10, 20, 30, 40, 1000} {
+		r.Record(v)
+	}
+	fmt.Println(r.Percentile(50), r.Percentile(99), r.Max())
+	// Output: 30 1000 1000
+}

@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ssdtp/internal/sim"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	r := NewLatencyRecorder()
+	for i := 1; i <= 100; i++ {
+		r.Record(sim.Time(i))
+	}
+	cases := []struct {
+		p    float64
+		want sim.Time
+	}{
+		{50, 50}, {99, 99}, {100, 100}, {1, 1}, {0.5, 1},
+	}
+	for _, c := range cases {
+		if got := r.Percentile(c.p); got != c.want {
+			t.Errorf("P%v = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRecorderEmpty(t *testing.T) {
+	r := NewLatencyRecorder()
+	if r.Percentile(99) != 0 || r.Mean() != 0 || r.Max() != 0 || r.Min() != 0 {
+		t.Error("empty recorder should return zeros")
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	r := NewLatencyRecorder()
+	for _, v := range []sim.Time{10, 20, 30} {
+		r.Record(v)
+	}
+	if r.Mean() != 20 {
+		t.Errorf("Mean = %v, want 20", r.Mean())
+	}
+	if r.Min() != 10 || r.Max() != 30 {
+		t.Errorf("Min/Max = %d/%d", r.Min(), r.Max())
+	}
+	if r.Count() != 3 {
+		t.Errorf("Count = %d", r.Count())
+	}
+}
+
+func TestTopK(t *testing.T) {
+	r := NewLatencyRecorder()
+	for _, v := range []sim.Time{5, 1, 9, 3, 7} {
+		r.Record(v)
+	}
+	got := r.TopK(3)
+	want := []sim.Time{5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+	if n := len(r.TopK(99)); n != 5 {
+		t.Errorf("TopK(99) len = %d, want 5", n)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewLatencyRecorder()
+	r.Record(5)
+	r.Reset()
+	if r.Count() != 0 || r.Mean() != 0 {
+		t.Error("Reset did not clear recorder")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by [Min, Max].
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewLatencyRecorder()
+		n := rng.Intn(200) + 1
+		for i := 0; i < n; i++ {
+			r.Record(sim.Time(rng.Int63n(1e9)))
+		}
+		prev := sim.Time(0)
+		for p := 1.0; p <= 100; p++ {
+			v := r.Percentile(p)
+			if v < prev || v < r.Min() || v > r.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Snapshot is sorted and preserves multiset size.
+func TestSnapshotSortedProperty(t *testing.T) {
+	f := func(vals []uint32) bool {
+		r := NewLatencyRecorder()
+		for _, v := range vals {
+			r.Record(sim.Time(v))
+		}
+		s := r.Snapshot()
+		return len(s) == len(vals) && sort.SliceIsSorted(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	h.Add(500 * sim.Nanosecond)  // bucket 0
+	h.Add(3 * sim.Microsecond)   // 3µs -> bucket 2
+	h.Add(100 * sim.Millisecond) // deep bucket
+	if h.Count() != 3 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if !strings.Contains(h.String(), "µs") {
+		t.Error("histogram rendering missing unit")
+	}
+}
+
+func TestWAF(t *testing.T) {
+	if got := WAF(150, 100); got != 1.5 {
+		t.Errorf("WAF = %v", got)
+	}
+	if WAF(10, 0) != 0 {
+		t.Error("WAF with zero host bytes should be 0")
+	}
+}
+
+func TestWeightedWAF(t *testing.T) {
+	// Paper §2.2: per-workload WAFs weighted by IOPS.
+	got := WeightedWAF([]float64{0.5, 1.0}, []float64{3, 1})
+	want := (0.5*3 + 1.0*1) / 4
+	if got != want {
+		t.Errorf("WeightedWAF = %v, want %v", got, want)
+	}
+	if WeightedWAF(nil, nil) != 0 {
+		t.Error("empty WeightedWAF should be 0")
+	}
+}
+
+func TestWeightedWAFMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	WeightedWAF([]float64{1}, []float64{1, 2})
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("scheme", "ratio")
+	tb.AddRow("compact", 2.56)
+	tb.AddRow("chunk4", 1.2)
+	s := tb.String()
+	if !strings.Contains(s, "compact") || !strings.Contains(s, "2.560") {
+		t.Errorf("table missing cells:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4:\n%s", len(lines), s)
+	}
+}

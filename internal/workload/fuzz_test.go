@@ -1,0 +1,33 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace hardens the trace parser against arbitrary input: it must
+// never panic, and anything it accepts must survive a write/parse round
+// trip.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("W 0 4096\nR 4096 4096\nF\nT 0 4096\n")
+	f.Add("# comment\n\nw 12 7\n")
+	f.Add("X nonsense\n")
+	f.Add("W -5 -10\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ops, err := ParseTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := WriteTrace(&buf, ops); err != nil {
+			t.Fatalf("WriteTrace on accepted ops: %v", err)
+		}
+		back, err := ParseTrace(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(back) != len(ops) {
+			t.Fatalf("round trip length %d != %d", len(back), len(ops))
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"fmt"
+
+	"ssdtp/internal/blockdev"
+	"ssdtp/internal/ssd"
+	"ssdtp/internal/stats"
+)
+
+// Replay drives a recorded block trace (from blockdev.Tracer) against a
+// device, preserving order, and returns per-operation latency statistics.
+// Record once on one device model, replay on another: the cross-device
+// comparisons of the paper's Figure 1 argument, without re-running the
+// application.
+func Replay(dev *ssd.Device, ops []blockdev.Op) Result {
+	eng := dev.Engine()
+	res := Result{Name: "replay", Latency: stats.NewLatencyRecorder()}
+	start := eng.Now()
+	for _, op := range ops {
+		opStart := eng.Now()
+		done := false
+		complete := func() { done = true }
+		var err error
+		switch op.Kind {
+		case blockdev.OpRead:
+			err = dev.ReadAsync(clampOff(dev, op.Off, op.Len), nil, op.Len, complete)
+			res.BytesRead += op.Len
+		case blockdev.OpWrite:
+			err = dev.WriteAsync(clampOff(dev, op.Off, op.Len), nil, op.Len, complete)
+			res.BytesWritten += op.Len
+		case blockdev.OpTrim:
+			err = dev.TrimAsync(clampOff(dev, op.Off, op.Len), op.Len, complete)
+		case blockdev.OpFlush:
+			dev.FlushAsync(complete)
+		default:
+			continue
+		}
+		if err != nil {
+			panic(fmt.Sprintf("workload: replay op %+v: %v", op, err))
+		}
+		eng.RunWhile(func() bool { return !done })
+		res.Requests++
+		res.Latency.Record(eng.Now() - opStart)
+	}
+	res.Duration = eng.Now() - start
+	return res
+}
+
+// clampOff folds trace offsets into the target device's address space so a
+// trace recorded on a larger device replays on a smaller one (the fold
+// preserves locality within the wrapped region).
+func clampOff(dev *ssd.Device, off, n int64) int64 {
+	size := dev.Size()
+	if off+n <= size {
+		return off
+	}
+	sector := int64(dev.SectorSize())
+	span := (size - n) / sector
+	if span <= 0 {
+		return 0
+	}
+	return (off / sector % span) * sector
+}

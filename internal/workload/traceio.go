@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"ssdtp/internal/blockdev"
+)
+
+// Trace text format: one op per line —
+//
+//	W <offset> <length>
+//	R <offset> <length>
+//	T <offset> <length>
+//	F
+//
+// Lines starting with '#' and blank lines are ignored. The format matches
+// what a blkparse-style post-processor or the blockdev.Tracer dump
+// produces, so traces move between tools as plain text.
+
+// WriteTrace serializes ops in the text format.
+func WriteTrace(w io.Writer, ops []blockdev.Op) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range ops {
+		var err error
+		switch op.Kind {
+		case blockdev.OpWrite:
+			_, err = fmt.Fprintf(bw, "W %d %d\n", op.Off, op.Len)
+		case blockdev.OpRead:
+			_, err = fmt.Fprintf(bw, "R %d %d\n", op.Off, op.Len)
+		case blockdev.OpTrim:
+			_, err = fmt.Fprintf(bw, "T %d %d\n", op.Off, op.Len)
+		case blockdev.OpFlush:
+			_, err = fmt.Fprintln(bw, "F")
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseTrace reads the text format back.
+func ParseTrace(r io.Reader) ([]blockdev.Op, error) {
+	var ops []blockdev.Op
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		var kind blockdev.OpKind
+		switch fields[0] {
+		case "W", "w":
+			kind = blockdev.OpWrite
+		case "R", "r":
+			kind = blockdev.OpRead
+		case "T", "t":
+			kind = blockdev.OpTrim
+		case "F", "f":
+			ops = append(ops, blockdev.Op{Kind: blockdev.OpFlush})
+			continue
+		default:
+			return nil, fmt.Errorf("workload: trace line %d: unknown op %q", line, fields[0])
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("workload: trace line %d: want `%s off len`", line, fields[0])
+		}
+		var off, n int64
+		if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &off, &n); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %v", line, err)
+		}
+		ops = append(ops, blockdev.Op{Kind: kind, Off: off, Len: n})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}

@@ -1,0 +1,271 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"ssdtp/internal/blockdev"
+
+	"ssdtp/internal/sim"
+	"ssdtp/internal/ssd"
+)
+
+func testDev(t *testing.T) *ssd.Device {
+	t.Helper()
+	cfg := ssd.MQSimBase()
+	cfg.Geometry.BlocksPerPlane = 16
+	return ssd.NewDevice(sim.NewEngine(), cfg)
+}
+
+func TestSequentialWriteRun(t *testing.T) {
+	dev := testDev(t)
+	res := Run(dev, Spec{
+		Name: "seq", Pattern: Sequential, RequestBytes: 16384, QueueDepth: 4,
+	}, Options{MaxRequests: 100})
+	if res.Requests != 100 {
+		t.Fatalf("requests = %d, want 100", res.Requests)
+	}
+	if res.BytesWritten != 100*16384 {
+		t.Errorf("bytes = %d", res.BytesWritten)
+	}
+	if res.Latency.Count() != 100 {
+		t.Errorf("latency samples = %d", res.Latency.Count())
+	}
+	if res.IOPS() <= 0 || res.Duration <= 0 {
+		t.Errorf("IOPS=%v duration=%v", res.IOPS(), res.Duration)
+	}
+}
+
+func TestDurationBoundedRun(t *testing.T) {
+	dev := testDev(t)
+	res := Run(dev, Spec{
+		Name: "u", Pattern: Uniform, RequestBytes: 4096, QueueDepth: 2, Seed: 3,
+	}, Options{Duration: 50 * sim.Millisecond})
+	if res.Requests == 0 {
+		t.Fatal("no requests completed in 50ms")
+	}
+	// Duration may exceed the bound slightly (draining in-flight requests).
+	if res.Duration < 50*sim.Millisecond {
+		t.Errorf("run shorter than bound: %d", res.Duration)
+	}
+}
+
+func TestSequentialWraps(t *testing.T) {
+	dev := testDev(t)
+	// More requests than the section holds: must wrap, not error. Section
+	// is 10 requests long; overwrite it 5 times.
+	res := Run(dev, Spec{
+		Name: "wrap", Pattern: Sequential, RequestBytes: 16384,
+		Offset: 0, Length: 10 * 16384,
+	}, Options{MaxRequests: 50})
+	if res.Requests != 50 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+}
+
+func TestHotspotSkew(t *testing.T) {
+	dev := testDev(t)
+	// Track request offsets via a custom run: use the generator's RNG
+	// behaviour indirectly by checking device write distribution through
+	// FTL counters is not feasible; instead run hotspot on a section and
+	// verify cache-hit rate is much higher than uniform (hot set fits in
+	// cache).
+	hot := Run(dev, Spec{
+		Name: "hot", Pattern: Hotspot, RequestBytes: 4096, Seed: 7,
+		Length: 8 << 20,
+	}, Options{MaxRequests: 2000})
+	hotHits := dev.FTL().Counters().CacheHits
+
+	dev2 := testDev(t)
+	uni := Run(dev2, Spec{
+		Name: "uni", Pattern: Uniform, RequestBytes: 4096, Seed: 7,
+		Length: 8 << 20,
+	}, Options{MaxRequests: 2000})
+	uniHits := dev2.FTL().Counters().CacheHits
+
+	if hot.Requests != 2000 || uni.Requests != 2000 {
+		t.Fatalf("requests: hot=%d uni=%d", hot.Requests, uni.Requests)
+	}
+	if hotHits <= uniHits {
+		t.Errorf("hotspot cache hits (%d) not above uniform (%d)", hotHits, uniHits)
+	}
+}
+
+func TestReadMix(t *testing.T) {
+	dev := testDev(t)
+	// Prime some data, then run a 50% read mix.
+	Run(dev, Spec{Name: "prime", Pattern: Sequential, RequestBytes: 16384},
+		Options{MaxRequests: 64})
+	res := Run(dev, Spec{
+		Name: "mix", Pattern: Uniform, RequestBytes: 4096,
+		ReadFrac: 0.5, Seed: 11, Length: 1 << 20,
+	}, Options{MaxRequests: 400})
+	if res.BytesRead == 0 || res.BytesWritten == 0 {
+		t.Errorf("mix imbalance: read=%d written=%d", res.BytesRead, res.BytesWritten)
+	}
+}
+
+func TestSyncEvery(t *testing.T) {
+	dev := testDev(t)
+	res := Run(dev, Spec{
+		Name: "sync", Pattern: Sequential, RequestBytes: 4096, SyncEvery: 1,
+	}, Options{MaxRequests: 20})
+	if res.Requests != 20 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	// Every request was followed by a flush: data pages programmed must be
+	// at least the request count (each 4KB request forces out a padded
+	// page).
+	if got := dev.FTL().Counters().DataPagesProgrammed; got < 20 {
+		t.Errorf("DataPagesProgrammed = %d, want >= 20", got)
+	}
+}
+
+func TestConcurrentWorkloadsSeparateSections(t *testing.T) {
+	dev := testDev(t)
+	size := dev.Size()
+	third := (size / 3) / 4096 * 4096
+	specs := []Spec{
+		{Name: "a", Pattern: Uniform, RequestBytes: 4096, Offset: 0, Length: third, Seed: 1},
+		{Name: "b", Pattern: Hotspot, RequestBytes: 4096, Offset: third, Length: third, Seed: 2},
+		{Name: "c", Pattern: Uniform, RequestBytes: 16384, Offset: 2 * third, Length: third, Seed: 3},
+	}
+	results := RunConcurrent(dev, specs, Options{Duration: 20 * sim.Millisecond})
+	for _, r := range results {
+		if r.Requests == 0 {
+			t.Errorf("workload %s made no progress", r.Name)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	dev := testDev(t)
+	res := Run(dev, Spec{Name: "s", Pattern: Sequential, RequestBytes: 4096},
+		Options{MaxRequests: 5})
+	if s := res.String(); len(s) == 0 {
+		t.Error("empty result string")
+	}
+}
+
+func TestUnboundedRunPanics(t *testing.T) {
+	dev := testDev(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("unbounded Options did not panic")
+		}
+	}()
+	Run(dev, Spec{Name: "x", Pattern: Uniform, RequestBytes: 4096}, Options{})
+}
+
+func TestReplayTrace(t *testing.T) {
+	// Record a small FS-style trace via the tracer, then replay it on a
+	// fresh device.
+	trace := []blockdev.Op{
+		{Kind: blockdev.OpWrite, Off: 0, Len: 65536},
+		{Kind: blockdev.OpWrite, Off: 65536, Len: 16384},
+		{Kind: blockdev.OpFlush},
+		{Kind: blockdev.OpRead, Off: 0, Len: 65536},
+		{Kind: blockdev.OpTrim, Off: 65536, Len: 16384},
+	}
+	dev := testDev(t)
+	res := Replay(dev, trace)
+	if res.Requests != 5 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	if res.BytesWritten != 65536+16384 || res.BytesRead != 65536 {
+		t.Errorf("bytes = w%d r%d", res.BytesWritten, res.BytesRead)
+	}
+	if res.Latency.Count() != 5 || res.Duration <= 0 {
+		t.Errorf("latency samples = %d, dur = %d", res.Latency.Count(), res.Duration)
+	}
+}
+
+func TestReplayClampsOversizedOffsets(t *testing.T) {
+	dev := testDev(t)
+	trace := []blockdev.Op{
+		{Kind: blockdev.OpWrite, Off: dev.Size() * 4, Len: 4096},
+		{Kind: blockdev.OpRead, Off: dev.Size() * 7, Len: 4096},
+	}
+	res := Replay(dev, trace) // must not panic
+	if res.Requests != 2 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+}
+
+func TestBurstOpenLoop(t *testing.T) {
+	dev := testDev(t)
+	res := Run(dev, Spec{
+		Name: "bursty", Pattern: Uniform, RequestBytes: 4096,
+		Interval: 100 * sim.Microsecond, Burst: 8, Seed: 2,
+	}, Options{Duration: 10 * sim.Millisecond})
+	if res.Requests == 0 {
+		t.Fatal("no requests")
+	}
+	// Average rate preserved: ~10ms/100µs = 100 requests (bursts of 8).
+	if res.Requests < 60 || res.Requests > 140 {
+		t.Errorf("requests = %d, want ~100", res.Requests)
+	}
+}
+
+func TestTimelineBuckets(t *testing.T) {
+	dev := testDev(t)
+	res := Run(dev, Spec{
+		Name: "tl", Pattern: Sequential, RequestBytes: 4096,
+		Interval: 100 * sim.Microsecond,
+	}, Options{Duration: 10 * sim.Millisecond, TimelineInterval: sim.Millisecond})
+	if len(res.Timeline) < 9 || len(res.Timeline) > 12 {
+		t.Fatalf("timeline buckets = %d, want ~10", len(res.Timeline))
+	}
+	var sum int64
+	for _, n := range res.Timeline {
+		sum += n
+	}
+	if sum != res.Requests {
+		t.Errorf("timeline sum %d != requests %d", sum, res.Requests)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	ops := []blockdev.Op{
+		{Kind: blockdev.OpWrite, Off: 4096, Len: 8192},
+		{Kind: blockdev.OpFlush},
+		{Kind: blockdev.OpRead, Off: 0, Len: 4096},
+		{Kind: blockdev.OpTrim, Off: 8192, Len: 4096},
+	}
+	var buf strings.Builder
+	if err := WriteTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ops) {
+		t.Fatalf("ops = %d, want %d", len(back), len(ops))
+	}
+	for i := range ops {
+		if back[i] != ops[i] {
+			t.Errorf("op %d = %+v, want %+v", i, back[i], ops[i])
+		}
+	}
+}
+
+func TestParseTraceCommentsAndErrors(t *testing.T) {
+	ops, err := ParseTrace(strings.NewReader("# comment\n\nW 0 4096\n"))
+	if err != nil || len(ops) != 1 {
+		t.Fatalf("ops=%v err=%v", ops, err)
+	}
+	if _, err := ParseTrace(strings.NewReader("X 0 1\n")); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := ParseTrace(strings.NewReader("W 5\n")); err == nil {
+		t.Error("short line accepted")
+	}
+}
+
+func TestZeroDurationAccessors(t *testing.T) {
+	r := Result{}
+	if r.IOPS() != 0 || r.ThroughputMBps() != 0 {
+		t.Error("zero-duration result should report 0 rates")
+	}
+}
