@@ -2,14 +2,26 @@ package ssdtp_test
 
 import (
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
 
 	"ssdtp/internal/experiments"
 	"ssdtp/internal/ftl"
+	"ssdtp/internal/runner"
 	"ssdtp/internal/sim"
 	"ssdtp/internal/ssd"
 	"ssdtp/internal/workload"
 )
+
+// TestMain installs a parallel cell pool so the figure benchmarks fan
+// their grids out across all CPUs, exactly as cmd/reproduce does by
+// default. runner.Map assembles cells in declaration order, so every
+// reported metric is identical to a serial run.
+func TestMain(m *testing.M) {
+	experiments.SetPool(&runner.Pool{Workers: runtime.GOMAXPROCS(0)})
+	os.Exit(m.Run())
+}
 
 // One benchmark per paper artifact: each iteration regenerates the figure
 // at Quick scale and reports its headline number as a custom metric, so
@@ -216,6 +228,22 @@ func BenchmarkTabS4DesignSweep(b *testing.B) {
 		res := experiments.TabS4DesignSweep(experiments.Quick, int64(i)+1)
 		b.ReportMetric(res.MeanSpread(), "mean-spread")
 		b.ReportMetric(res.P99Spread(), "p99-spread")
+	}
+}
+
+// BenchmarkRunnerDesignSweep pins the sweep-layer parallelism win: the
+// tabS4 24-point factorial at 1 worker vs all CPUs. The wall-clock ratio
+// between the two sub-benchmarks is the experiment-runner speedup on this
+// machine (ns/op shrinks with cores; the tables stay byte-identical).
+func BenchmarkRunnerDesignSweep(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			experiments.SetPool(&runner.Pool{Workers: workers})
+			defer experiments.SetPool(&runner.Pool{Workers: runtime.GOMAXPROCS(0)})
+			for i := 0; i < b.N; i++ {
+				experiments.TabS4DesignSweep(experiments.Quick, int64(i)+1)
+			}
+		})
 	}
 }
 

@@ -1,9 +1,14 @@
 // Command reproduce regenerates the paper's tables and figures on the
 // simulated substrate and prints paper-vs-measured summaries.
 //
+// Grid-shaped experiments fan their cells out across -parallel workers
+// (default: all CPUs). Tables on stdout are byte-identical for any
+// -parallel value; progress lines and per-cell wall-clock timings go to
+// stderr so redirected output stays clean.
+//
 // Usage:
 //
-//	reproduce [-run fig1,fig2,fig3,fig4a,fig4b,fig5,fig6|all] [-full] [-seed N]
+//	reproduce [-run fig1,fig2,fig3,fig4a,fig4b,fig5,fig6|all] [-full] [-seed N] [-parallel N] [-quiet]
 package main
 
 import (
@@ -11,9 +16,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"ssdtp/internal/experiments"
+	"ssdtp/internal/runner"
 )
 
 func main() {
@@ -21,7 +29,22 @@ func main() {
 	full := flag.Bool("full", false, "full scale (slower, tighter statistics)")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	csvDir := flag.String("csv", "", "also write plottable CSV series into this directory")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment cells run concurrently (results are identical for any value)")
+	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines on stderr")
 	flag.Parse()
+
+	progress := func(ev runner.Event) {
+		switch ev.Kind {
+		case runner.CellStart:
+			fmt.Fprintf(os.Stderr, "[%3d/%d] %-40s ...\n", ev.Index+1, ev.Total, ev.Label)
+		case runner.CellDone:
+			fmt.Fprintf(os.Stderr, "[%3d/%d] %-40s %8.2fs\n", ev.Index+1, ev.Total, ev.Label, ev.Duration.Seconds())
+		}
+	}
+	if *quiet {
+		progress = nil
+	}
+	experiments.SetPool(&runner.Pool{Workers: *parallel, Progress: progress})
 
 	writeCSV := func(name string, header string, rows func(w *os.File)) {
 		if *csvDir == "" {
@@ -53,10 +76,22 @@ func main() {
 	all := want["all"]
 	ran := 0
 
+	// Per-experiment wall-clock goes to stderr alongside the cell progress
+	// lines, so long -full runs are observable without touching stdout.
+	var curID string
+	var curStart time.Time
+	endSection := func() {
+		if curID != "" {
+			fmt.Fprintf(os.Stderr, "=== %s done in %.2fs\n", curID, time.Since(curStart).Seconds())
+		}
+		curID = ""
+	}
 	section := func(id, title string) bool {
 		if !all && !want[id] {
 			return false
 		}
+		endSection()
+		curID, curStart = id, time.Now()
 		ran++
 		fmt.Printf("\n=== %s: %s ===\n", id, title)
 		return true
@@ -126,6 +161,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	endSection()
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched -run=%s\n", *run)
 		os.Exit(2)

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"testing"
+
+	"ssdtp/internal/runner"
+)
+
+// withPool runs f with the given pool installed, restoring the previous
+// pool afterwards so tests don't leak configuration into each other.
+func withPool(p *runner.Pool, f func()) {
+	prev := pool()
+	SetPool(p)
+	defer SetPool(prev)
+	f()
+}
+
+// The determinism-under-parallelism contract: a rendered table is a pure
+// function of (experiment, scale, seed) — the worker count must never show
+// through. fig3 (plus its derived tabS1) and the tabS4 24-point factorial
+// are the acceptance artifacts.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid regeneration")
+	}
+	artifacts := []struct {
+		name   string
+		render func() string
+	}{
+		{"fig3+tabS1", func() string {
+			res := Fig3TailLatency(Quick, 42)
+			return res.Table() + TableS1MeanDelta(res).Table()
+		}},
+		{"tabS4", func() string { return TabS4DesignSweep(Quick, 42).Table() }},
+	}
+	for _, a := range artifacts {
+		a := a
+		t.Run(a.name, func(t *testing.T) {
+			t.Parallel()
+			var serial, serial2, wide string
+			withPool(&runner.Pool{Workers: 1}, func() {
+				serial = a.render()
+				serial2 = a.render()
+			})
+			if serial != serial2 {
+				t.Fatalf("%s: two serial same-seed runs differ:\n%s\n--- vs ---\n%s", a.name, serial, serial2)
+			}
+			withPool(&runner.Pool{Workers: 8}, func() { wide = a.render() })
+			if wide != serial {
+				t.Fatalf("%s: -parallel 8 output differs from serial:\n%s\n--- vs ---\n%s", a.name, wide, serial)
+			}
+		})
+	}
+}
+
+// Every runner-backed grid must also be insensitive to the worker count,
+// not just the two acceptance artifacts; this covers the remaining grids
+// at a coarser grain (their headline scalar).
+func TestParallelHeadlinesMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid regeneration")
+	}
+	grids := []struct {
+		name   string
+		metric func() float64
+	}{
+		{"fig1", func() float64 { lo, hi := Fig1Aging(Quick, 42).RatioRange(); return lo + hi }},
+		{"fig2", func() float64 { return Fig2Compression(Quick, 42).WorstOverOptimal("high") }},
+		{"fig4a", func() float64 { return Fig4aNandPageSize(Quick, 42).Converged() }},
+		{"tabS3", func() float64 { return TabS3OpenChannel(Quick, 42).Improvement() }},
+		{"tabS5", func() float64 {
+			var mb float64
+			for _, r := range TabS5Endurance(Quick, 42).Rows {
+				mb += r.HostMBWritten
+			}
+			return mb
+		}},
+		{"tabS7", func() float64 { lo, hi := TabS7Personalities(Quick, 42).RatioRange(); return lo + hi }},
+	}
+	for _, g := range grids {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			t.Parallel()
+			var serial, wide float64
+			withPool(nil, func() { serial = g.metric() })
+			withPool(&runner.Pool{Workers: 8}, func() { wide = g.metric() })
+			if serial != wide {
+				t.Fatalf("%s: serial %v != parallel %v", g.name, serial, wide)
+			}
+		})
+	}
+}

@@ -3,7 +3,35 @@
 // pure function from a seed (and a Scale) to a result struct that knows how
 // to render itself as the paper's rows/series; cmd/reproduce prints them and
 // the repository's benchmarks time them.
+//
+// The grid-shaped experiments (fig1, fig2, fig3/tabS1, fig4a, tabS3, tabS4,
+// tabS5, tabS7) are matrices of independent simulations. They express their
+// cells through internal/runner and fan out across the pool installed with
+// SetPool; each cell builds its own sim.Engine and device, so cells share
+// no mutable state and the assembled result — and hence every rendered
+// table — is byte-identical for any worker count.
 package experiments
+
+import (
+	"sync/atomic"
+
+	"ssdtp/internal/runner"
+)
+
+// cellPool holds the orchestrator grid experiments fan out on. The default
+// (nil) runs cells serially, preserving the historical behaviour for
+// library callers; cmd/reproduce and the benchmarks install a parallel
+// pool.
+var cellPool atomic.Pointer[runner.Pool]
+
+// SetPool installs the worker pool used by the grid-shaped experiments.
+// Passing nil restores serial execution. Results do not depend on the pool:
+// per-cell seeds are pure functions of the experiment seed, so any worker
+// count reproduces the serial output bit-for-bit.
+func SetPool(p *runner.Pool) { cellPool.Store(p) }
+
+// pool returns the installed pool (possibly nil, meaning serial).
+func pool() *runner.Pool { return cellPool.Load() }
 
 // Scale trades fidelity for runtime. Full is what EXPERIMENTS.md reports;
 // Quick is for benchmarks and smoke tests.

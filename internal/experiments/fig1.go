@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ssdtp/internal/fsim"
+	"ssdtp/internal/runner"
 	"ssdtp/internal/sim"
 	"ssdtp/internal/ssd"
 	"ssdtp/internal/stats"
@@ -63,35 +64,64 @@ func fig1Device(model string, scale Scale, seed int64) *ssd.Device {
 	return ssd.NewDevice(sim.NewEngine(), cfg)
 }
 
+// fig1Cell is one (device, aging, fs-kind) simulation's outcome.
+type fig1Cell struct {
+	ops  float64
+	frag float64
+}
+
+// fig1RunFS builds a fresh device, ages a file system of the given kind on
+// it, and runs the fileserver benchmark — one self-contained cell.
+func fig1RunFS(model, kind string, prof fsim.AgingProfile, scale Scale, ops, seed int64) fig1Cell {
+	dev := fig1Device(model, scale, seed)
+	disk := fsim.SSDDisk{Dev: dev}
+	var fs fsim.FS
+	if kind == "extfs" {
+		fs = fsim.NewExtFS(disk)
+	} else {
+		fs = fsim.NewLogFS(disk)
+	}
+	fsim.Age(fs, prof, seed)
+	res := fsim.Fileserver(fs, dev.Engine(), ops, seed+100)
+	cell := fig1Cell{ops: res.OpsPerSecond()}
+	if e, ok := fs.(*fsim.ExtFS); ok {
+		cell.frag = e.FragmentationScore()
+	}
+	return cell
+}
+
 // Fig1Aging reproduces Figure 1: for each device model and aging profile,
 // age a fresh file system of each type, run the fileserver benchmark, and
-// report the throughput ratio.
+// report the throughput ratio. Every (model, profile, fs) triple is an
+// independent cell on its own device; the extfs/logfs pair of a row shares
+// the seed so each ratio compares the two designs under identical aging
+// and benchmark streams.
 func Fig1Aging(scale Scale, seed int64) Fig1Result {
 	ops := scale.pick(400, 2500)
 	profiles := []fsim.AgingProfile{fsim.AgeU, fsim.AgeA, fsim.AgeM}
-	var out Fig1Result
-	for _, model := range []string{"S64", "S120"} {
+	models := []string{"S64", "S120"}
+	kinds := []string{"extfs", "logfs"}
+	var cells []runner.Task[fig1Cell]
+	for _, model := range models {
 		for _, prof := range profiles {
-			row := Fig1Row{Device: model, Aging: prof.String()}
-			for _, kind := range []string{"extfs", "logfs"} {
-				dev := fig1Device(model, scale, seed)
-				disk := fsim.SSDDisk{Dev: dev}
-				var fs fsim.FS
-				if kind == "extfs" {
-					fs = fsim.NewExtFS(disk)
-				} else {
-					fs = fsim.NewLogFS(disk)
-				}
-				fsim.Age(fs, prof, seed)
-				res := fsim.Fileserver(fs, dev.Engine(), ops, seed+100)
-				if kind == "extfs" {
-					row.ExtfsOps = res.OpsPerSecond()
-					if e, ok := fs.(*fsim.ExtFS); ok {
-						row.ExtfsFrag = e.FragmentationScore()
-					}
-				} else {
-					row.LogfsOps = res.OpsPerSecond()
-				}
+			for _, kind := range kinds {
+				model, prof, kind := model, prof, kind
+				cells = append(cells, runner.Cell(
+					fmt.Sprintf("fig1/%s/%s/%s", model, prof, kind),
+					func() fig1Cell { return fig1RunFS(model, kind, prof, scale, ops, seed) }))
+			}
+		}
+	}
+	got := runner.Map(pool(), cells)
+	var out Fig1Result
+	i := 0
+	for _, model := range models {
+		for _, prof := range profiles {
+			ext, logf := got[i], got[i+1]
+			i += 2
+			row := Fig1Row{
+				Device: model, Aging: prof.String(),
+				ExtfsOps: ext.ops, LogfsOps: logf.ops, ExtfsFrag: ext.frag,
 			}
 			if row.ExtfsOps > 0 {
 				row.Ratio = row.LogfsOps / row.ExtfsOps

@@ -5,6 +5,7 @@ import (
 
 	"ssdtp/internal/compress"
 	"ssdtp/internal/oltp"
+	"ssdtp/internal/runner"
 	"ssdtp/internal/stats"
 )
 
@@ -46,7 +47,10 @@ func (r Fig2Result) Table() string {
 
 // Fig2Compression reproduces Figure 2: flash writes per OLTP transaction
 // under each intra-SSD compression scheme, normalized to re-bp32, across
-// compressibility levels.
+// compressibility levels. Each (level, scheme) cell owns its own OLTP
+// engine and replays the same transaction stream (same seed), so schemes
+// compare under identical traffic; normalization against re-bp32 happens
+// after the fan-out, once every cell of a level is in.
 func Fig2Compression(scale Scale, seed int64) Fig2Result {
 	levels := []struct {
 		name  string
@@ -55,31 +59,45 @@ func Fig2Compression(scale Scale, seed int64) Fig2Result {
 		{"high", 0.22}, {"medium", 0.5}, {"low", 0.85},
 	}
 	txns := scale.pick(8000, 60000)
-	var out Fig2Result
+	var cells []runner.Task[float64]
 	for _, lv := range levels {
-		perScheme := map[string]float64{}
 		for _, scheme := range compress.SchemeNames {
-			eng := oltp.NewEngine(oltp.Config{
-				TablePages: 16384,
-				PageRatio:  lv.ratio,
-				Seed:       seed,
-			})
-			s, err := compress.New(scheme, 16384)
-			if err != nil {
-				panic(err)
-			}
-			eng.Prime(s)
-			perScheme[scheme] = eng.Run(s, txns).WritesPerTxn()
+			lv, scheme := lv, scheme
+			cells = append(cells, runner.Cell(
+				fmt.Sprintf("fig2/%s/%s", lv.name, scheme),
+				func() float64 {
+					eng := oltp.NewEngine(oltp.Config{
+						TablePages: 16384,
+						PageRatio:  lv.ratio,
+						Seed:       seed,
+					})
+					s, err := compress.New(scheme, 16384)
+					if err != nil {
+						panic(err)
+					}
+					eng.Prime(s)
+					return eng.Run(s, txns).WritesPerTxn()
+				}))
 		}
-		base := perScheme["re-bp32"]
-		for _, scheme := range compress.SchemeNames {
+	}
+	got := runner.Map(pool(), cells)
+	var out Fig2Result
+	for li, lv := range levels {
+		perScheme := got[li*len(compress.SchemeNames) : (li+1)*len(compress.SchemeNames)]
+		base := 0.0
+		for si, scheme := range compress.SchemeNames {
+			if scheme == "re-bp32" {
+				base = perScheme[si]
+			}
+		}
+		for si, scheme := range compress.SchemeNames {
 			norm := 0.0
 			if base > 0 {
-				norm = perScheme[scheme] / base
+				norm = perScheme[si] / base
 			}
 			out.Cells = append(out.Cells, Fig2Cell{
 				Scheme: scheme, Level: lv.name,
-				WritesPerTxn: perScheme[scheme], Normalized: norm,
+				WritesPerTxn: perScheme[si], Normalized: norm,
 			})
 		}
 	}

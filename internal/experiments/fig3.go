@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ssdtp/internal/ftl"
+	"ssdtp/internal/runner"
 	"ssdtp/internal/sim"
 	"ssdtp/internal/ssd"
 	"ssdtp/internal/stats"
@@ -118,42 +119,52 @@ func fig3Device(cfgMut func(*ssd.Config), seed int64) *ssd.Device {
 // request size against each configuration in steady state, at a bounded
 // queue depth. Tails expose each FTL's stall structure; medians and means
 // stay comparatively close (TableS1).
+//
+// Each (configuration, size) cell is an independent simulation on its own
+// engine and device; cells fan out on the installed runner pool. Every
+// cell deliberately replays the same seed — the comparison across FTL
+// variants is controlled, identical host traffic against each design.
 func Fig3TailLatency(scale Scale, seed int64) Fig3Result {
 	dur := sim.Time(scale.pick(int64(400*sim.Millisecond), int64(2*sim.Second)))
 
 	sizes := []int{4096, 16384, 65536}
-	var out Fig3Result
+	var cells []runner.Task[Fig3Series]
 	for _, cfg := range Fig3Configs() {
 		for _, size := range sizes {
-			dev := fig3Device(cfg.Mutate, seed)
-			res := workload.Run(dev, workload.Spec{
-				Name:         cfg.Name,
-				Pattern:      workload.Uniform,
-				RequestBytes: size,
-				// Moderate queue depth, closed loop: backlog stays
-				// bounded, so tail latency reflects each FTL's stall
-				// structure rather than unbounded queueing on the slowest
-				// configuration.
-				QueueDepth: 4,
-				Seed:       seed,
-			}, workload.Options{Duration: dur})
-			k := res.Latency.Count() / 100
-			if k < 10 {
-				k = 10
-			}
-			out.Series = append(out.Series, Fig3Series{
-				Config:       cfg.Name,
-				RequestBytes: size,
-				Requests:     res.Requests,
-				Mean:         sim.Time(res.Latency.Mean()),
-				P50:          res.Latency.Percentile(50),
-				P99:          res.Latency.Percentile(99),
-				Max:          res.Latency.Max(),
-				Tail:         res.Latency.TopK(k),
-			})
+			cfg, size := cfg, size
+			cells = append(cells, runner.Cell(
+				fmt.Sprintf("fig3/%s/%s", cfg.Name, fmtBytes(int64(size))),
+				func() Fig3Series {
+					dev := fig3Device(cfg.Mutate, seed)
+					res := workload.Run(dev, workload.Spec{
+						Name:         cfg.Name,
+						Pattern:      workload.Uniform,
+						RequestBytes: size,
+						// Moderate queue depth, closed loop: backlog stays
+						// bounded, so tail latency reflects each FTL's stall
+						// structure rather than unbounded queueing on the
+						// slowest configuration.
+						QueueDepth: 4,
+						Seed:       seed,
+					}, workload.Options{Duration: dur})
+					k := res.Latency.Count() / 100
+					if k < 10 {
+						k = 10
+					}
+					return Fig3Series{
+						Config:       cfg.Name,
+						RequestBytes: size,
+						Requests:     res.Requests,
+						Mean:         sim.Time(res.Latency.Mean()),
+						P50:          res.Latency.Percentile(50),
+						P99:          res.Latency.Percentile(99),
+						Max:          res.Latency.Max(),
+						Tail:         res.Latency.TopK(k),
+					}
+				}))
 		}
 	}
-	return out
+	return Fig3Result{Series: runner.Map(pool(), cells)}
 }
 
 // TableS1Row is one row of the mean-delta table (§2.1's textual claim that

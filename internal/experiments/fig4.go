@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ssdtp/internal/core"
+	"ssdtp/internal/runner"
 	"ssdtp/internal/sim"
 	"ssdtp/internal/ssd"
 	"ssdtp/internal/stats"
@@ -36,14 +37,26 @@ func (r Fig4aResult) Table() string {
 
 // Fig4aNandPageSize reproduces Figure 4a on the MX500 model: sequential
 // sync-writes of increasing size; host bytes divided by the S.M.A.R.T.
-// "NAND Pages" counter delta.
+// "NAND Pages" counter delta. Each size is measured on its own fresh
+// device — the paper's methodology runs fio once per size against a
+// trimmed drive — which also makes the sizes independent cells for the
+// runner pool.
 func Fig4aNandPageSize(scale Scale, seed int64) Fig4aResult {
-	cfg := ssd.MX500()
-	cfg.FTL.Seed = seed
-	dev := ssd.NewDevice(sim.NewEngine(), cfg)
 	sizes := []int{4096, 8192, 16384, 32768, 65536, 131072, 262144, 524288, 1048576, 4194304}
 	perSize := scale.pick(2<<20, 16<<20)
-	return Fig4aResult{Points: core.MeasurePageUnit(dev, sizes, perSize)}
+	var cells []runner.Task[core.PageUnitPoint]
+	for _, size := range sizes {
+		size := size
+		cells = append(cells, runner.Cell(
+			"fig4a/"+fmtBytes(int64(size)),
+			func() core.PageUnitPoint {
+				cfg := ssd.MX500()
+				cfg.FTL.Seed = seed
+				dev := ssd.NewDevice(sim.NewEngine(), cfg)
+				return core.MeasurePageUnit(dev, []int{size}, perSize)[0]
+			}))
+	}
+	return Fig4aResult{Points: runner.Map(pool(), cells)}
 }
 
 // Fig4bResult is the write-amplification attribution experiment

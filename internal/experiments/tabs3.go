@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ssdtp/internal/ftl"
+	"ssdtp/internal/runner"
 	"ssdtp/internal/sim"
 	"ssdtp/internal/ssd"
 	"ssdtp/internal/stats"
@@ -72,27 +73,30 @@ func TabS3OpenChannel(scale Scale, seed int64) TabS3Result {
 			c.FTL.GCSuspend = true
 		}},
 	}
-	var out TabS3Result
+	var cells []runner.Task[TabS3Row]
 	for _, cfg := range configs {
-		dev := fig3Device(cfg.mut, seed)
-		res := workload.Run(dev, workload.Spec{
-			Name:         cfg.name,
-			Pattern:      workload.Uniform,
-			RequestBytes: 4096,
-			ReadFrac:     0.7,
-			Interval:     100 * sim.Microsecond,
-			Burst:        16,
-			Seed:         seed,
-		}, workload.Options{Duration: dur})
-		out.Rows = append(out.Rows, TabS3Row{
-			Config:   cfg.name,
-			Requests: res.Requests,
-			P50:      res.Latency.Percentile(50),
-			P99:      res.Latency.Percentile(99),
-			Max:      res.Latency.Max(),
-		})
+		cfg := cfg
+		cells = append(cells, runner.Cell("tabS3/"+cfg.name, func() TabS3Row {
+			dev := fig3Device(cfg.mut, seed)
+			res := workload.Run(dev, workload.Spec{
+				Name:         cfg.name,
+				Pattern:      workload.Uniform,
+				RequestBytes: 4096,
+				ReadFrac:     0.7,
+				Interval:     100 * sim.Microsecond,
+				Burst:        16,
+				Seed:         seed,
+			}, workload.Options{Duration: dur})
+			return TabS3Row{
+				Config:   cfg.name,
+				Requests: res.Requests,
+				P50:      res.Latency.Percentile(50),
+				P99:      res.Latency.Percentile(99),
+				Max:      res.Latency.Max(),
+			}
+		}))
 	}
-	return out
+	return TabS3Result{Rows: runner.Map(pool(), cells)}
 }
 
 // TabS4Cell is one design point of the full-factorial sweep.
@@ -151,30 +155,36 @@ func (r TabS4Result) Table() string {
 }
 
 // TabS4DesignSweep runs the full factorial (3 GC x 2 cache x 4 alloc = 24
-// points; CacheNone is excluded as not a realistic drive).
+// points; CacheNone is excluded as not a realistic drive). The 24 design
+// points are independent simulations replaying identical host traffic,
+// fanned out on the installed runner pool.
 func TabS4DesignSweep(scale Scale, seed int64) TabS4Result {
 	dur := sim.Time(scale.pick(int64(200*sim.Millisecond), int64(1*sim.Second)))
-	var out TabS4Result
+	var cells []runner.Task[TabS4Cell]
 	for _, gc := range []ftl.GCPolicy{ftl.GCGreedy, ftl.GCRandGreedy, ftl.GCFIFO} {
 		for _, cache := range []ftl.CacheKind{ftl.CacheData, ftl.CacheMapping} {
 			for _, alloc := range []ftl.AllocOrder{ftl.AllocCWDP, ftl.AllocPDWC, ftl.AllocWDPC, ftl.AllocDPCW} {
 				gc, cache, alloc := gc, cache, alloc
-				dev := fig3Device(func(c *ssd.Config) {
-					c.FTL.GC = gc
-					c.FTL.Cache = cache
-					c.FTL.Alloc = alloc
-				}, seed)
-				res := workload.Run(dev, workload.Spec{
-					Name: "sweep", Pattern: workload.Uniform, RequestBytes: 16384,
-					QueueDepth: 4, Seed: seed,
-				}, workload.Options{Duration: dur})
-				out.Cells = append(out.Cells, TabS4Cell{
-					GC: gc, Cache: cache, Alloc: alloc,
-					Mean: sim.Time(res.Latency.Mean()),
-					P99:  res.Latency.Percentile(99),
-				})
+				cells = append(cells, runner.Cell(
+					fmt.Sprintf("tabS4/%v/%v/%v", gc, cache, alloc),
+					func() TabS4Cell {
+						dev := fig3Device(func(c *ssd.Config) {
+							c.FTL.GC = gc
+							c.FTL.Cache = cache
+							c.FTL.Alloc = alloc
+						}, seed)
+						res := workload.Run(dev, workload.Spec{
+							Name: "sweep", Pattern: workload.Uniform, RequestBytes: 16384,
+							QueueDepth: 4, Seed: seed,
+						}, workload.Options{Duration: dur})
+						return TabS4Cell{
+							GC: gc, Cache: cache, Alloc: alloc,
+							Mean: sim.Time(res.Latency.Mean()),
+							P99:  res.Latency.Percentile(99),
+						}
+					}))
 			}
 		}
 	}
-	return out
+	return TabS4Result{Cells: runner.Map(pool(), cells)}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ssdtp/internal/ftl"
+	"ssdtp/internal/runner"
 	"ssdtp/internal/sim"
 	"ssdtp/internal/ssd"
 	"ssdtp/internal/stats"
@@ -64,10 +65,11 @@ func (r TabS5Result) Table() string {
 
 // TabS5Endurance writes hotspot traffic into a wear-limited device under
 // each GC policy until blocks start dying, and reports how much host data
-// each policy sustained.
+// each policy sustained. The four policy variants wear out independent
+// devices under identical traffic; they fan out on the runner pool (and
+// are the longest cells in the suite, so the win is largest here).
 func TabS5Endurance(scale Scale, seed int64) TabS5Result {
 	wearLimit := int(scale.pick(8, 20))
-	res := TabS5Result{WearLimit: wearLimit}
 	type variant struct {
 		policy ftl.GCPolicy
 		wl     bool
@@ -78,47 +80,54 @@ func TabS5Endurance(scale Scale, seed int64) TabS5Result {
 		{ftl.GCRandGreedy, false},
 		{ftl.GCFIFO, false},
 	}
+	var cells []runner.Task[TabS5Row]
 	for _, v := range variants {
-		policy := v.policy
-		cfg := ssd.MQSimBase()
-		cfg.Geometry.BlocksPerPlane = 12
-		cfg.FTL.CacheBytes = 512 * 1024 // small cache: wear reaches flash
-		cfg.FTL.GC = policy
-		cfg.FTL.GCSample = 2
-		cfg.FTL.Seed = seed
-		cfg.WearLimit = wearLimit
+		v := v
+		label := fmt.Sprintf("tabS5/%v", v.policy)
 		if v.wl {
-			cfg.FTL.WearLevelThreshold = 3
-			cfg.FTL.IdleGC = true
-			cfg.FTL.IdleDelay = int64(2 * sim.Millisecond)
+			label += "+wl"
 		}
-		dev := ssd.NewDevice(sim.NewEngine(), cfg)
-
-		row := TabS5Row{Policy: policy, WearLeveling: v.wl}
-		spec := workload.Spec{
-			Name: "endurance", Pattern: workload.Hotspot, RequestBytes: 4096,
-			QueueDepth: 4, Seed: seed,
-		}
-		// Write in slices until bad blocks appear (or a hard cap).
-		for rounds := 0; rounds < 1500; rounds++ {
-			workload.Run(dev, spec, workload.Options{Duration: 50 * sim.Millisecond})
-			c := dev.FTL().Counters()
-			if c.GrownBadBlocks >= 4 {
-				break
+		cells = append(cells, runner.Cell(label, func() TabS5Row {
+			cfg := ssd.MQSimBase()
+			cfg.Geometry.BlocksPerPlane = 12
+			cfg.FTL.CacheBytes = 512 * 1024 // small cache: wear reaches flash
+			cfg.FTL.GC = v.policy
+			cfg.FTL.GCSample = 2
+			cfg.FTL.Seed = seed
+			cfg.WearLimit = wearLimit
+			if v.wl {
+				cfg.FTL.WearLevelThreshold = 3
+				cfg.FTL.IdleGC = true
+				cfg.FTL.IdleDelay = int64(2 * sim.Millisecond)
 			}
-		}
-		done := false
-		dev.FlushAsync(func() { done = true })
-		dev.Engine().RunWhile(func() bool { return !done })
-		c := dev.FTL().Counters()
-		row.HostMBWritten = float64(c.HostSectorsWritten) * 4096 / 1e6
-		row.NANDPages = c.PagesProgrammed()
-		if c.HostSectorsWritten > 0 {
-			row.WAF = float64(c.PagesProgrammed()*16384) / float64(c.HostSectorsWritten*4096)
-		}
-		row.BadBlocks = c.GrownBadBlocks
-		row.MaxErase, _ = dev.Array().WearStats()
-		res.Rows = append(res.Rows, row)
+			dev := ssd.NewDevice(sim.NewEngine(), cfg)
+
+			row := TabS5Row{Policy: v.policy, WearLeveling: v.wl}
+			spec := workload.Spec{
+				Name: "endurance", Pattern: workload.Hotspot, RequestBytes: 4096,
+				QueueDepth: 4, Seed: seed,
+			}
+			// Write in slices until bad blocks appear (or a hard cap).
+			for rounds := 0; rounds < 1500; rounds++ {
+				workload.Run(dev, spec, workload.Options{Duration: 50 * sim.Millisecond})
+				c := dev.FTL().Counters()
+				if c.GrownBadBlocks >= 4 {
+					break
+				}
+			}
+			done := false
+			dev.FlushAsync(func() { done = true })
+			dev.Engine().RunWhile(func() bool { return !done })
+			c := dev.FTL().Counters()
+			row.HostMBWritten = float64(c.HostSectorsWritten) * 4096 / 1e6
+			row.NANDPages = c.PagesProgrammed()
+			if c.HostSectorsWritten > 0 {
+				row.WAF = float64(c.PagesProgrammed()*16384) / float64(c.HostSectorsWritten*4096)
+			}
+			row.BadBlocks = c.GrownBadBlocks
+			row.MaxErase, _ = dev.Array().WearStats()
+			return row
+		}))
 	}
-	return res
+	return TabS5Result{WearLimit: wearLimit, Rows: runner.Map(pool(), cells)}
 }

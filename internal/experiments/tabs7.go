@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ssdtp/internal/fsim"
+	"ssdtp/internal/runner"
 	"ssdtp/internal/stats"
 )
 
@@ -48,7 +49,10 @@ func (r TabS7Result) Table() string {
 }
 
 // TabS7Personalities ages each file system with profile A, then benchmarks
-// three application personalities per device model.
+// three application personalities per device model. Each (model, bench,
+// fs-kind) triple is an independent cell on its own device; the pair of a
+// row shares the seed so the ratio compares the two file systems under the
+// same aging and request stream.
 func TabS7Personalities(scale Scale, seed int64) TabS7Result {
 	ops := scale.pick(300, 1500)
 	type bench struct {
@@ -66,27 +70,38 @@ func TabS7Personalities(scale Scale, seed int64) TabS7Result {
 			return fsim.Webserver(fs, clk, ops, seed+100)
 		}},
 	}
-	var out TabS7Result
-	for _, model := range []string{"S64", "S120"} {
+	models := []string{"S64", "S120"}
+	kinds := []string{"extfs", "logfs"}
+	var cells []runner.Task[float64]
+	for _, model := range models {
 		for _, b := range benches {
-			row := TabS7Row{Device: model, Workload: b.name}
-			for _, kind := range []string{"extfs", "logfs"} {
-				dev := fig1Device(model, scale, seed)
-				disk := fsim.SSDDisk{Dev: dev}
-				var fs fsim.FS
-				if kind == "extfs" {
-					fs = fsim.NewExtFS(disk)
-				} else {
-					fs = fsim.NewLogFS(disk)
-				}
-				fsim.Age(fs, fsim.AgeA, seed)
-				res := b.run(fs, dev.Engine())
-				if kind == "extfs" {
-					row.ExtfsOps = res.OpsPerSecond()
-				} else {
-					row.LogfsOps = res.OpsPerSecond()
-				}
+			for _, kind := range kinds {
+				model, b, kind := model, b, kind
+				cells = append(cells, runner.Cell(
+					fmt.Sprintf("tabS7/%s/%s/%s", model, b.name, kind),
+					func() float64 {
+						dev := fig1Device(model, scale, seed)
+						disk := fsim.SSDDisk{Dev: dev}
+						var fs fsim.FS
+						if kind == "extfs" {
+							fs = fsim.NewExtFS(disk)
+						} else {
+							fs = fsim.NewLogFS(disk)
+						}
+						fsim.Age(fs, fsim.AgeA, seed)
+						return b.run(fs, dev.Engine()).OpsPerSecond()
+					}))
 			}
+		}
+	}
+	got := runner.Map(pool(), cells)
+	var out TabS7Result
+	i := 0
+	for _, model := range models {
+		for _, b := range benches {
+			row := TabS7Row{Device: model, Workload: b.name,
+				ExtfsOps: got[i], LogfsOps: got[i+1]}
+			i += 2
 			if row.ExtfsOps > 0 {
 				row.Ratio = row.LogfsOps / row.ExtfsOps
 			}

@@ -1,0 +1,193 @@
+// Package runner fans independent experiment cells out across a worker
+// pool. Every paper artifact this repository regenerates is a grid of
+// independent deterministic simulations (FTL variants x request sizes,
+// design-point factorials, schemes x compressibility); the simulation
+// engine itself is single-threaded by design (sim.Engine), so the sweep
+// layer is where parallelism lives.
+//
+// The determinism contract: each cell owns its own sim.Engine and device,
+// its seed is a pure function of (baseSeed, cellID) — never of execution
+// order — and results are assembled in declaration order. Under that
+// contract the output of a run is byte-identical for any worker count,
+// which the experiments package pins with a regression test.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Pool executes independent cells concurrently. The zero value is ready to
+// use and runs min(GOMAXPROCS, number-of-cells) workers; Workers == 1
+// forces serial execution on the calling goroutine.
+type Pool struct {
+	// Workers is the maximum number of cells in flight. Zero or negative
+	// means runtime.GOMAXPROCS(0).
+	Workers int
+	// Progress, when non-nil, observes cell lifecycle events. Calls are
+	// serialized (never concurrent with each other), but under multiple
+	// workers they may arrive from different goroutines and out of cell
+	// order — a long cell 0 finishes after a short cell 1 started.
+	Progress func(Event)
+
+	mu sync.Mutex // serializes Progress callbacks
+}
+
+// Event is one cell lifecycle notification delivered to Pool.Progress.
+type Event struct {
+	// Kind is CellStart or CellDone.
+	Kind EventKind
+	// Index is the cell's position in declaration order, 0-based.
+	Index int
+	// Total is the number of cells in the Map call.
+	Total int
+	// Label names the cell (for progress lines).
+	Label string
+	// Duration is the cell's wall-clock runtime; set only for CellDone.
+	Duration time.Duration
+}
+
+// EventKind distinguishes progress notifications.
+type EventKind int
+
+// Progress event kinds.
+const (
+	// CellStart fires just before a cell's function runs.
+	CellStart EventKind = iota
+	// CellDone fires after a cell's function returns, with Duration set.
+	CellDone
+)
+
+// String returns "start" or "done".
+func (k EventKind) String() string {
+	if k == CellStart {
+		return "start"
+	}
+	return "done"
+}
+
+// Task is one experiment cell: a label for progress reporting and the
+// function that computes the cell's result. Run must be self-contained —
+// it may not share mutable state (engines, devices, RNGs) with any other
+// cell.
+type Task[T any] struct {
+	Label string
+	Run   func() T
+}
+
+// Cell builds a Task from a label and a function.
+func Cell[T any](label string, run func() T) Task[T] {
+	return Task[T]{Label: label, Run: run}
+}
+
+// workers resolves the effective worker count for n cells. A nil pool runs
+// serially, preserving the historical behaviour for callers that never
+// configured one.
+func (p *Pool) workers(n int) int {
+	if p == nil {
+		return 1
+	}
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// notify delivers one progress event, serialized across workers.
+func (p *Pool) notify(ev Event) {
+	if p == nil || p.Progress == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.Progress(ev)
+}
+
+// cellPanic carries a panic value (and the label of the cell that raised
+// it) from a worker goroutine back to the Map caller.
+type cellPanic struct {
+	label string
+	val   any
+}
+
+// Map runs every task on the pool and returns their results in task order,
+// regardless of completion order. A nil pool (or Workers == 1) runs the
+// tasks serially on the calling goroutine. If a task panics, Map re-panics
+// on the calling goroutine after the in-flight workers settle, so a
+// failing cell surfaces the same way under any worker count.
+func Map[T any](p *Pool, tasks []Task[T]) []T {
+	out := make([]T, len(tasks))
+	n := len(tasks)
+	if n == 0 {
+		return out
+	}
+	run := func(i int) {
+		p.notify(Event{Kind: CellStart, Index: i, Total: n, Label: tasks[i].Label})
+		start := time.Now()
+		out[i] = tasks[i].Run()
+		p.notify(Event{Kind: CellDone, Index: i, Total: n, Label: tasks[i].Label,
+			Duration: time.Since(start)})
+	}
+	if p.workers(n) == 1 {
+		for i := range tasks {
+			run(i)
+		}
+		return out
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var firstPanic *cellPanic
+	for w := 0; w < p.workers(n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if firstPanic == nil {
+								firstPanic = &cellPanic{label: tasks[i].Label, val: r}
+							}
+							panicMu.Unlock()
+						}
+					}()
+					run(i)
+				}()
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if firstPanic != nil {
+		panic(fmt.Sprintf("runner: cell %q panicked: %v", firstPanic.label, firstPanic.val))
+	}
+	return out
+}
+
+// CellSeed derives a per-cell seed as a pure function of an experiment's
+// base seed and a stable cell identifier, using the splitmix64 finalizer.
+// Cells whose random streams should be independent (rather than the
+// controlled same-trace comparison most figures want) take their seed from
+// here so that no cell's stream depends on how many cells precede it or on
+// which worker runs it.
+func CellSeed(baseSeed int64, cellID uint64) int64 {
+	z := uint64(baseSeed) + 0x9e3779b97f4a7c15*(cellID+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

@@ -32,6 +32,7 @@ type Event struct {
 	index    int // heap index; -1 when not queued
 	fn       func()
 	canceled bool
+	eng      *Engine
 }
 
 // Canceled reports whether Cancel was called on the event.
@@ -40,9 +41,22 @@ func (ev *Event) Canceled() bool { return ev.canceled }
 // Time returns the simulated time the event fires at.
 func (ev *Event) Time() Time { return ev.time }
 
-// Cancel prevents a pending event from firing. Canceling an event that has
-// already fired (or was already canceled) is a no-op.
-func (ev *Event) Cancel() { ev.canceled = true }
+// Cancel prevents a pending event from firing. The event is removed from
+// the queue immediately and its callback (with whatever the closure
+// captured) is released, so repeatedly superseding a far-future timer —
+// the FTL's idle-patrol pattern — holds neither memory nor a Pending()
+// count. Canceling an event that has already fired (or was already
+// canceled) is a no-op.
+func (ev *Event) Cancel() {
+	if ev.canceled {
+		return
+	}
+	ev.canceled = true
+	ev.fn = nil
+	if ev.index >= 0 {
+		heap.Remove(&ev.eng.pq, ev.index)
+	}
+}
 
 // Engine is a discrete-event scheduler. The zero value is not usable; create
 // engines with NewEngine. Engine is not safe for concurrent use: the
@@ -62,8 +76,8 @@ func NewEngine() *Engine {
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending returns the number of events queued (including canceled events
-// that have not yet been discarded).
+// Pending returns the number of live events queued. Canceled events leave
+// the queue at Cancel time and are never counted.
 func (e *Engine) Pending() int { return len(e.pq) }
 
 // Schedule queues fn to run delay nanoseconds from now. A negative delay is
@@ -83,17 +97,19 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		panic(fmt.Sprintf("sim: scheduling event at %d, before now=%d", t, e.now))
 	}
 	e.seq++
-	ev := &Event{time: t, seq: e.seq, fn: fn, index: -1}
+	ev := &Event{time: t, seq: e.seq, fn: fn, index: -1, eng: e}
 	heap.Push(&e.pq, ev)
 	return ev
 }
 
-// Step fires the next pending event (skipping canceled ones) and advances
-// the clock to its time. It reports whether an event was fired.
+// Step fires the next pending event and advances the clock to its time.
+// It reports whether an event was fired. (Canceled events never reach the
+// queue's head — Cancel removes them eagerly — but the check stays as
+// defense in depth.)
 func (e *Engine) Step() bool {
 	for len(e.pq) > 0 {
 		ev := heap.Pop(&e.pq).(*Event)
-		if ev.canceled {
+		if ev.canceled || ev.fn == nil {
 			continue
 		}
 		e.now = ev.time
@@ -128,8 +144,14 @@ func (e *Engine) RunUntil(t Time) {
 }
 
 // RunWhile fires events as long as cond() returns true and events remain.
-// It reports whether cond is still true when it returns (i.e. the queue
-// drained before cond flipped).
+// It returns true exactly when it stopped because the queue drained while
+// cond still held — for wait loops of the form
+// RunWhile(func() bool { return !done }), a true return means the awaited
+// completion can no longer arrive (the simulation is stuck). It returns
+// false when cond flipped, the normal completion path. Callers that must
+// not tolerate a stuck wait can assert on the return value; most loops in
+// this repository ignore it because their completion event is already
+// queued when they start waiting.
 func (e *Engine) RunWhile(cond func() bool) bool {
 	for cond() {
 		if !e.Step() {

@@ -2,9 +2,11 @@ package sim
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestEngineFiresInTimeOrder(t *testing.T) {
@@ -52,6 +54,112 @@ func TestCancel(t *testing.T) {
 	}
 	if !ev.Canceled() {
 		t.Error("Canceled() = false after Cancel")
+	}
+}
+
+// Regression: a canceled event must leave the queue immediately — the FTL
+// idle patrol supersedes a far-future timer on every host request, and the
+// old behaviour (mark-and-skip-at-pop) accumulated every superseded event
+// plus its captured closure until the far-future pop.
+func TestSupersededTimersDoNotAccumulate(t *testing.T) {
+	e := NewEngine()
+	var ev *Event
+	for i := 0; i < 10000; i++ {
+		if ev != nil {
+			ev.Cancel()
+		}
+		ev = e.Schedule(30*60*Second, func() {})
+		if got := e.Pending(); got != 1 {
+			t.Fatalf("Pending = %d after supersede %d, want 1", got, i)
+		}
+	}
+}
+
+// Regression: Cancel must drop the callback so whatever the closure
+// captured becomes collectable while the event's far-future fire time is
+// still pending.
+func TestCancelReleasesClosure(t *testing.T) {
+	e := NewEngine()
+	collected := make(chan struct{})
+	func() {
+		big := make([]byte, 1<<20)
+		runtime.SetFinalizer(&big[0], func(*byte) { close(collected) })
+		ev := e.Schedule(30*60*Second, func() { _ = big[0] })
+		ev.Cancel()
+	}()
+	deadline := time.After(5 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		case <-deadline:
+			t.Fatal("canceled event still pins its closure after GC")
+		default:
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+func TestPendingCountsLiveEventsOnly(t *testing.T) {
+	e := NewEngine()
+	a := e.Schedule(10, func() {})
+	b := e.Schedule(20, func() {})
+	e.Schedule(30, func() {})
+	if e.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", e.Pending())
+	}
+	b.Cancel()
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d after one cancel, want 2", e.Pending())
+	}
+	b.Cancel() // double-cancel is a no-op
+	a.Cancel()
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d after two cancels, want 1", e.Pending())
+	}
+}
+
+// Canceling an event in the middle of the heap must not disturb the firing
+// order of the survivors.
+func TestCancelMidHeapPreservesOrder(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	var evs []*Event
+	for _, d := range []Time{50, 10, 30, 20, 40} {
+		evs = append(evs, e.Schedule(d, func() { fired = append(fired, e.Now()) }))
+	}
+	evs[2].Cancel() // the t=30 event
+	e.Run()
+	want := []Time{10, 20, 40, 50}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+// RunWhile's contract: false when cond flipped (normal completion), true
+// when the queue drained with cond still holding (the awaited event can no
+// longer arrive).
+func TestRunWhileContract(t *testing.T) {
+	e := NewEngine()
+	done := false
+	e.Schedule(10, func() { done = true })
+	e.Schedule(20, func() {})
+	if e.RunWhile(func() bool { return !done }) {
+		t.Error("RunWhile = true though cond flipped")
+	}
+	if e.Now() != 10 {
+		t.Errorf("RunWhile ran past the flipping event: now=%d", e.Now())
+	}
+
+	stuck := false
+	if !e.RunWhile(func() bool { return !stuck }) {
+		t.Error("RunWhile = false though the queue drained with cond still true")
 	}
 }
 

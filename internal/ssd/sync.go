@@ -1,5 +1,13 @@
 package ssd
 
+import "errors"
+
+// ErrStalled reports that the simulation's event queue drained before an
+// outstanding synchronous request completed — the completion callback can
+// no longer fire, so the device lost the request. It indicates a model
+// bug, never a legitimate device state.
+var ErrStalled = errors.New("ssd: event queue drained before request completed")
+
 // SyncDev adapts a Device to the synchronous blockdev.Device interface by
 // driving the simulation engine until each request completes. Use it from
 // code structured around blocking I/O (the file systems in fsim); do not mix
@@ -15,7 +23,9 @@ func (s SyncDev) ReadAt(p []byte, off int64) error {
 	if err := s.D.ReadAsync(off, p, 0, func() { done = true }); err != nil {
 		return err
 	}
-	s.D.eng.RunWhile(func() bool { return !done })
+	if s.D.eng.RunWhile(func() bool { return !done }) {
+		return ErrStalled
+	}
 	return nil
 }
 
@@ -25,7 +35,9 @@ func (s SyncDev) WriteAt(p []byte, off int64) error {
 	if err := s.D.WriteAsync(off, p, 0, func() { done = true }); err != nil {
 		return err
 	}
-	s.D.eng.RunWhile(func() bool { return !done })
+	if s.D.eng.RunWhile(func() bool { return !done }) {
+		return ErrStalled
+	}
 	return nil
 }
 
@@ -35,7 +47,9 @@ func (s SyncDev) Trim(off, length int64) error {
 	if err := s.D.TrimAsync(off, length, func() { done = true }); err != nil {
 		return err
 	}
-	s.D.eng.RunWhile(func() bool { return !done })
+	if s.D.eng.RunWhile(func() bool { return !done }) {
+		return ErrStalled
+	}
 	return nil
 }
 
@@ -43,7 +57,9 @@ func (s SyncDev) Trim(off, length int64) error {
 func (s SyncDev) Flush() error {
 	done := false
 	s.D.FlushAsync(func() { done = true })
-	s.D.eng.RunWhile(func() bool { return !done })
+	if s.D.eng.RunWhile(func() bool { return !done }) {
+		return ErrStalled
+	}
 	return nil
 }
 

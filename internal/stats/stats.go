@@ -89,10 +89,13 @@ func (r *LatencyRecorder) Min() sim.Time {
 }
 
 // TopK returns the k largest samples in ascending order (fewer if the
-// recorder holds fewer). This is the "requests ordered by latency" series of
-// the paper's Figure 3.
+// recorder holds fewer; empty for k <= 0). This is the "requests ordered
+// by latency" series of the paper's Figure 3.
 func (r *LatencyRecorder) TopK(k int) []sim.Time {
 	r.ensureSorted()
+	if k < 0 {
+		k = 0
+	}
 	if k > len(r.samples) {
 		k = len(r.samples)
 	}

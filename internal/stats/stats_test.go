@@ -68,6 +68,23 @@ func TestTopK(t *testing.T) {
 	}
 }
 
+// Regression: a computed k below zero (e.g. a percentage of an empty
+// recorder minus a floor) must yield an empty slice, not a panic from
+// make([]sim.Time, k).
+func TestTopKNonPositiveK(t *testing.T) {
+	r := NewLatencyRecorder()
+	r.Record(5)
+	for _, k := range []int{-1, -100, 0} {
+		if got := r.TopK(k); len(got) != 0 {
+			t.Errorf("TopK(%d) = %v, want empty", k, got)
+		}
+	}
+	empty := NewLatencyRecorder()
+	if got := empty.TopK(-3); len(got) != 0 {
+		t.Errorf("empty TopK(-3) = %v, want empty", got)
+	}
+}
+
 func TestReset(t *testing.T) {
 	r := NewLatencyRecorder()
 	r.Record(5)
