@@ -6,9 +6,15 @@
 // -parallel value; progress lines and per-cell wall-clock timings go to
 // stderr so redirected output stays clean.
 //
+// With -trace FILE the traced experiments (fig3, tabS3, tabS4) also emit a
+// JSONL span stream, and with -metrics FILE a Prometheus-style text dump of
+// per-cell counters. Both are timestamped with the simulated clock and
+// ordered by cell label, so they too are byte-identical for any -parallel
+// value.
+//
 // Usage:
 //
-//	reproduce [-run fig1,fig2,fig3,fig4a,fig4b,fig5,fig6|all] [-full] [-seed N] [-parallel N] [-quiet]
+//	reproduce [-run fig1,fig2,fig3,fig4a,fig4b,fig5,fig6|all] [-full] [-seed N] [-parallel N] [-quiet] [-trace FILE] [-metrics FILE]
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"time"
 
 	"ssdtp/internal/experiments"
+	"ssdtp/internal/obs"
 	"ssdtp/internal/runner"
 )
 
@@ -31,6 +38,8 @@ func main() {
 	csvDir := flag.String("csv", "", "also write plottable CSV series into this directory")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment cells run concurrently (results are identical for any value)")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines on stderr")
+	traceFile := flag.String("trace", "", "write a JSONL span trace of the traced experiments to this file")
+	metricsFile := flag.String("metrics", "", "write a Prometheus-style text dump of per-cell metrics to this file")
 	flag.Parse()
 
 	progress := func(ev runner.Event) {
@@ -45,6 +54,35 @@ func main() {
 		progress = nil
 	}
 	experiments.SetPool(&runner.Pool{Workers: *parallel, Progress: progress})
+
+	var col *obs.Collector
+	if *traceFile != "" || *metricsFile != "" {
+		col = obs.NewCollector()
+		experiments.SetObserver(col)
+	}
+	writeObs := func(path string, write func(f *os.File) error) {
+		if path == "" || col == nil {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := write(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "(wrote %s)\n", path)
+	}
+	flushObs := func() {
+		writeObs(*traceFile, func(f *os.File) error { return col.WriteJSONL(f) })
+		writeObs(*metricsFile, func(f *os.File) error { return col.WriteMetrics(f) })
+	}
 
 	writeCSV := func(name string, header string, rows func(w *os.File)) {
 		if *csvDir == "" {
@@ -158,6 +196,7 @@ func main() {
 		fmt.Print(res.Table())
 		if !res.AllOK() {
 			fmt.Fprintln(os.Stderr, "fig6: findings did not match planted ground truth")
+			flushObs()
 			os.Exit(1)
 		}
 	}
@@ -166,4 +205,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no experiment matched -run=%s\n", *run)
 		os.Exit(2)
 	}
+	flushObs()
 }

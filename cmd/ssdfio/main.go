@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"ssdtp/internal/obs"
 	"ssdtp/internal/sim"
 	"ssdtp/internal/ssd"
 	"ssdtp/internal/workload"
@@ -30,12 +31,19 @@ func main() {
 	timelineMS := flag.Int64("timeline-ms", 0, "print a completions-per-bucket timeline with this bucket width")
 	prefill := flag.Bool("prefill", false, "sequentially prefill 85% of the device first")
 	replayFile := flag.String("replay", "", "replay a text block trace (`W off len` / `R off len` / `T off len` / `F` per line) instead of a synthetic pattern")
+	traceFile := flag.String("trace", "", "write a JSONL span trace of the run (prefill excluded) to this file")
+	metricsFile := flag.String("metrics", "", "write a Prometheus-style text dump of device metrics to this file")
 	flag.Parse()
 
 	cfg, err := modelByName(*model)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	var tr *obs.Tracer
+	if *traceFile != "" || *metricsFile != "" {
+		tr = obs.NewTracer(*model)
+		cfg.Trace = tr
 	}
 	dev := ssd.NewDevice(sim.NewEngine(), cfg)
 
@@ -53,10 +61,39 @@ func main() {
 	}
 
 	if *prefill {
+		// The prefill is priming, not the measured workload; keep it out of
+		// the trace so the span stream covers only what the summary reports.
+		tr.Suspend()
 		fill := dev.Size() * 85 / 100 / 65536 * 65536
 		workload.Run(dev, workload.Spec{
 			Name: "prefill", Pattern: workload.Sequential, RequestBytes: 65536, Length: fill,
 		}, workload.Options{MaxRequests: fill / 65536})
+		tr.Resume()
+	}
+
+	writeObs := func(path string, write func(f *os.File) error) {
+		if path == "" || tr == nil {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := write(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "(wrote %s)\n", path)
+	}
+	flushObs := func() {
+		dev.PublishMetrics(tr)
+		writeObs(*traceFile, func(f *os.File) error { return tr.WriteJSONL(f) })
+		writeObs(*metricsFile, func(f *os.File) error { return tr.WriteMetrics(f) })
 	}
 
 	if *replayFile != "" {
@@ -77,6 +114,7 @@ func main() {
 		if *showSMART {
 			fmt.Print(dev.SMART().String())
 		}
+		flushObs()
 		return
 	}
 
@@ -110,6 +148,7 @@ func main() {
 	if *showSMART {
 		fmt.Print(dev.SMART().String())
 	}
+	flushObs()
 }
 
 func modelByName(name string) (ssd.Config, error) {

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"strings"
 	"testing"
 
+	"ssdtp/internal/obs"
 	"ssdtp/internal/runner"
 )
 
@@ -50,6 +52,58 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 				t.Fatalf("%s: -parallel 8 output differs from serial:\n%s\n--- vs ---\n%s", a.name, wide, serial)
 			}
 		})
+	}
+}
+
+// The observability stream is held to the same contract as the tables:
+// spans carry simulated-clock timestamps and cells are keyed by label, so
+// the exported JSONL trace and metrics dump must be byte-identical run to
+// run and for any worker count. Not parallel with the other determinism
+// tests: each traced run buffers every span of the grid in memory.
+func TestTraceByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid regeneration")
+	}
+	render := func(workers int) (trace, metrics string) {
+		col := obs.NewCollector()
+		prev := observer()
+		SetObserver(col)
+		defer SetObserver(prev)
+		withPool(&runner.Pool{Workers: workers}, func() { TabS3OpenChannel(Quick, 42) })
+		var tb, mb strings.Builder
+		if err := col.WriteJSONL(&tb); err != nil {
+			t.Fatal(err)
+		}
+		if err := col.WriteMetrics(&mb); err != nil {
+			t.Fatal(err)
+		}
+		return tb.String(), mb.String()
+	}
+	tr1a, me1a := render(1)
+	tr1b, me1b := render(1)
+	tr8, me8 := render(8)
+	if tr1a == "" || me1a == "" {
+		t.Fatal("traced run produced an empty trace or metrics dump")
+	}
+	// tabS3's Quick window is too short to trigger GC, but it must show
+	// request spans and cache-eviction events from both layers.
+	if !strings.Contains(tr1a, `"name":"ssd.read"`) {
+		t.Error("trace contains no device read spans; instrumentation lost")
+	}
+	if !strings.Contains(tr1a, `"name":"ftl.cache.evict"`) {
+		t.Error("trace contains no FTL cache-eviction events; instrumentation lost")
+	}
+	if tr1a != tr1b {
+		t.Error("two serial same-seed runs produced different traces")
+	}
+	if me1a != me1b {
+		t.Error("two serial same-seed runs produced different metrics")
+	}
+	if tr8 != tr1a {
+		t.Error("8-worker trace differs from serial trace")
+	}
+	if me8 != me1a {
+		t.Error("8-worker metrics differ from serial metrics")
 	}
 }
 

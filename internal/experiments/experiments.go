@@ -15,6 +15,7 @@ package experiments
 import (
 	"sync/atomic"
 
+	"ssdtp/internal/obs"
 	"ssdtp/internal/runner"
 )
 
@@ -32,6 +33,21 @@ func SetPool(p *runner.Pool) { cellPool.Store(p) }
 
 // pool returns the installed pool (possibly nil, meaning serial).
 func pool() *runner.Pool { return cellPool.Load() }
+
+// observerCol holds the collector the traced experiments report to. Nil (the
+// default) disables tracing at zero cost: cells receive a nil tracer and
+// every instrumentation site reduces to one pointer check.
+var observerCol atomic.Pointer[obs.Collector]
+
+// SetObserver installs a collector that receives per-cell trace spans and
+// metric snapshots from the experiments that support it (fig3, tabS3, tabS4).
+// Like SetPool, it does not affect results: spans are timestamped with each
+// cell's simulated clock and keyed by cell label, so the collected streams
+// are byte-identical for any worker count. Passing nil disables tracing.
+func SetObserver(col *obs.Collector) { observerCol.Store(col) }
+
+// observer returns the installed collector (possibly nil).
+func observer() *obs.Collector { return observerCol.Load() }
 
 // Scale trades fidelity for runtime. Full is what EXPERIMENTS.md reports;
 // Quick is for benchmarks and smoke tests.

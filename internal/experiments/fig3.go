@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ssdtp/internal/ftl"
+	"ssdtp/internal/obs"
 	"ssdtp/internal/runner"
 	"ssdtp/internal/sim"
 	"ssdtp/internal/ssd"
@@ -90,11 +91,16 @@ func (r Fig3Result) Table() string {
 }
 
 // fig3Device builds and fully prefills one device so measurement happens in
-// steady state (past the priming stage) where GC runs.
-func fig3Device(cfgMut func(*ssd.Config), seed int64) *ssd.Device {
+// steady state (past the priming stage) where GC runs. A non-nil tracer is
+// bound to the device but suspended for the prefill: the interesting trace is
+// the measured phase, and skipping the (identical-per-config) priming traffic
+// keeps trace files proportional to what the experiment reports.
+func fig3Device(cfgMut func(*ssd.Config), seed int64, tr *obs.Tracer) *ssd.Device {
 	cfg := ssd.MQSimBase()
 	cfg.FTL.Seed = seed
+	cfg.Trace = tr
 	cfgMut(&cfg)
+	tr.Suspend()
 	dev := ssd.NewDevice(sim.NewEngine(), cfg)
 	// Sequential prefill of 85% of the logical space, plus one overwrite
 	// pass of its first half to mix block ages and create reclaimable
@@ -110,8 +116,11 @@ func fig3Device(cfgMut func(*ssd.Config), seed int64) *ssd.Device {
 		Length: fill / 2,
 	}, workload.Options{MaxRequests: fill / 2 / (64 * 1024)})
 	done := false
-	dev.FlushAsync(func() { done = true })
+	if err := dev.FlushAsync(func() { done = true }); err != nil {
+		panic(err)
+	}
 	dev.Engine().RunWhile(func() bool { return !done })
+	tr.Resume()
 	return dev
 }
 
@@ -132,10 +141,10 @@ func Fig3TailLatency(scale Scale, seed int64) Fig3Result {
 	for _, cfg := range Fig3Configs() {
 		for _, size := range sizes {
 			cfg, size := cfg, size
-			cells = append(cells, runner.Cell(
+			cells = append(cells, runner.TracedCell(observer(),
 				fmt.Sprintf("fig3/%s/%s", cfg.Name, fmtBytes(int64(size))),
-				func() Fig3Series {
-					dev := fig3Device(cfg.Mutate, seed)
+				func(tr *obs.Tracer) Fig3Series {
+					dev := fig3Device(cfg.Mutate, seed, tr)
 					res := workload.Run(dev, workload.Spec{
 						Name:         cfg.Name,
 						Pattern:      workload.Uniform,
@@ -147,6 +156,7 @@ func Fig3TailLatency(scale Scale, seed int64) Fig3Result {
 						QueueDepth: 4,
 						Seed:       seed,
 					}, workload.Options{Duration: dur})
+					dev.PublishMetrics(tr)
 					k := res.Latency.Count() / 100
 					if k < 10 {
 						k = 10

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ssdtp/internal/ftl"
+	"ssdtp/internal/obs"
 	"ssdtp/internal/runner"
 	"ssdtp/internal/sim"
 	"ssdtp/internal/ssd"
@@ -76,8 +77,8 @@ func TabS3OpenChannel(scale Scale, seed int64) TabS3Result {
 	var cells []runner.Task[TabS3Row]
 	for _, cfg := range configs {
 		cfg := cfg
-		cells = append(cells, runner.Cell("tabS3/"+cfg.name, func() TabS3Row {
-			dev := fig3Device(cfg.mut, seed)
+		cells = append(cells, runner.TracedCell(observer(), "tabS3/"+cfg.name, func(tr *obs.Tracer) TabS3Row {
+			dev := fig3Device(cfg.mut, seed, tr)
 			res := workload.Run(dev, workload.Spec{
 				Name:         cfg.name,
 				Pattern:      workload.Uniform,
@@ -87,6 +88,7 @@ func TabS3OpenChannel(scale Scale, seed int64) TabS3Result {
 				Burst:        16,
 				Seed:         seed,
 			}, workload.Options{Duration: dur})
+			dev.PublishMetrics(tr)
 			return TabS3Row{
 				Config:   cfg.name,
 				Requests: res.Requests,
@@ -165,18 +167,19 @@ func TabS4DesignSweep(scale Scale, seed int64) TabS4Result {
 		for _, cache := range []ftl.CacheKind{ftl.CacheData, ftl.CacheMapping} {
 			for _, alloc := range []ftl.AllocOrder{ftl.AllocCWDP, ftl.AllocPDWC, ftl.AllocWDPC, ftl.AllocDPCW} {
 				gc, cache, alloc := gc, cache, alloc
-				cells = append(cells, runner.Cell(
+				cells = append(cells, runner.TracedCell(observer(),
 					fmt.Sprintf("tabS4/%v/%v/%v", gc, cache, alloc),
-					func() TabS4Cell {
+					func(tr *obs.Tracer) TabS4Cell {
 						dev := fig3Device(func(c *ssd.Config) {
 							c.FTL.GC = gc
 							c.FTL.Cache = cache
 							c.FTL.Alloc = alloc
-						}, seed)
+						}, seed, tr)
 						res := workload.Run(dev, workload.Spec{
 							Name: "sweep", Pattern: workload.Uniform, RequestBytes: 16384,
 							QueueDepth: 4, Seed: seed,
 						}, workload.Options{Duration: dur})
+						dev.PublishMetrics(tr)
 						return TabS4Cell{
 							GC: gc, Cache: cache, Alloc: alloc,
 							Mean: sim.Time(res.Latency.Mean()),

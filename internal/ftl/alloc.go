@@ -1,6 +1,9 @@
 package ftl
 
-import "ssdtp/internal/nand"
+import (
+	"ssdtp/internal/nand"
+	"ssdtp/internal/obs"
+)
 
 // openBlock is a block currently accepting page programs.
 type openBlock struct {
@@ -282,6 +285,9 @@ func (f *FTL) journalResidual() {
 
 // writeJournalPage emits one mapping-journal page program.
 func (f *FTL) writeJournalPage() {
+	if f.tr.Enabled() {
+		f.tr.Emit("ftl.map.journal", obs.Int("pending_updates", f.mapUpdates))
+	}
 	lsns := make([]int64, f.secPerPage)
 	for i := range lsns {
 		lsns[i] = -1

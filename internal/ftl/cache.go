@@ -1,5 +1,7 @@
 package ftl
 
+import "ssdtp/internal/obs"
+
 // entryState is a cache entry's lifecycle.
 type entryState uint8
 
@@ -115,6 +117,11 @@ func (f *FTL) maybeFlushCache() {
 	c := f.cache
 	for c.dirtyBytes > c.flushWater && c.inflight < maxFlushInflight && c.dirtyCount > 0 {
 		f.counters.CacheEvictions++
+		if f.tr.Enabled() {
+			f.tr.Emit("ftl.cache.evict",
+				obs.Int("dirty_bytes", int64(c.dirtyBytes)),
+				obs.Int("inflight", int64(c.inflight)))
+		}
 		f.startCacheFlush()
 	}
 }

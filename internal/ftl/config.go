@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"ssdtp/internal/nand"
+	"ssdtp/internal/obs"
 )
 
 // GCPolicy selects the garbage-collection victim-selection algorithm.
@@ -223,6 +224,12 @@ type Config struct {
 
 	// Seed feeds the FTL's private RNG (randomized-greedy sampling).
 	Seed int64
+
+	// Trace, when non-nil, receives background-operation events — GC victim
+	// spans, cache evictions, map-journal page writes, scrub/refresh/retire
+	// events — timestamped with the simulated clock. A nil tracer costs one
+	// pointer check per event site.
+	Trace *obs.Tracer
 }
 
 // Validation errors.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"ssdtp/internal/nand"
+	"ssdtp/internal/obs"
 	"ssdtp/internal/sim"
 )
 
@@ -113,6 +114,8 @@ type FTL struct {
 	yieldedGC []func()
 
 	counters Counters
+
+	tr *obs.Tracer // nil unless cfg.Trace set; all sites nil-safe
 }
 
 // Dimension indices for allocation orders.
@@ -144,6 +147,7 @@ func New(eng *sim.Engine, flash Flash, cfg Config) *FTL {
 		secPerPage:  g.PageSize / cfg.SectorSize,
 		pagesPerBlk: g.PagesPerBlock,
 		blksPerPU:   g.BlocksPerPlane,
+		tr:          cfg.Trace,
 	}
 	f.dims = [4]int{
 		dimC: flash.Channels(),
@@ -481,6 +485,9 @@ func (f *FTL) Trim(lsn int64, count int) error {
 // the open RAIN stripe with a parity page, and calls done once everything
 // (including any garbage collection those writes triggered) has settled.
 func (f *FTL) Flush(done func()) {
+	if f.tr.Enabled() {
+		f.tr.Emit("ftl.flush.begin", obs.Int("waiters", int64(len(f.drainWaiters)+1)))
+	}
 	f.drainWaiters = append(f.drainWaiters, done)
 	f.pumpDrain()
 }
@@ -519,6 +526,9 @@ func (f *FTL) pumpDrain() {
 	}
 	ws := f.drainWaiters
 	f.drainWaiters = nil
+	if f.tr.Enabled() {
+		f.tr.Emit("ftl.flush.end", obs.Int("waiters", int64(len(ws))))
+	}
 	for _, w := range ws {
 		if w != nil {
 			w()

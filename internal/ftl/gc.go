@@ -1,6 +1,9 @@
 package ftl
 
-import "ssdtp/internal/nand"
+import (
+	"ssdtp/internal/nand"
+	"ssdtp/internal/obs"
+)
 
 // maybeStartGC kicks off a collection loop on pu when free space is below
 // the low-water mark (or unconditionally for background collection when
@@ -169,14 +172,27 @@ func (f *FTL) collectBlock(pu *puState, victim int32) {
 		}
 	}
 
+	// One span covers the whole victim: relocation reads, relocation
+	// programs, and the erase. Its duration is exactly the background burst
+	// Figure 3's tail requests collide with.
+	var sp obs.Span
+	if f.tr.Enabled() {
+		sp = f.tr.Begin("ftl.gc",
+			obs.Int("pu", int64(pu.index)),
+			obs.Int("block", int64(victim)),
+			obs.Int("live", int64(len(moves))))
+	}
+
 	eraseVictim := func() {
 		addr := nand.Addr{Die: pu.die, Plane: pu.plane, Block: int(victim)}
 		f.flash.Erase(pu.ch, pu.chip, addr, f.cfg.GCSuspend, func(err error) {
 			if err != nil {
 				// Worn out: retire instead of freeing (its live data was
 				// already relocated above).
+				sp.End(obs.Str("result", "retired"))
 				f.retireBlock(pu, victim)
 			} else {
+				sp.End(obs.Str("result", "erased"))
 				f.counters.Erases++
 				f.blockErases[f.globalBlock(pu.index, victim)]++
 				pu.free = append(pu.free, victim)

@@ -1,6 +1,9 @@
 package ftl
 
-import "ssdtp/internal/nand"
+import (
+	"ssdtp/internal/nand"
+	"ssdtp/internal/obs"
+)
 
 // Scrubbing and bad-block management: the FTL-side consumers of the NAND
 // reliability model. Page refresh ("flash correct-and-refresh") relocates
@@ -17,6 +20,10 @@ func (f *FTL) applyReadHealth(ppn int64, bits int) {
 	}
 	if f.cfg.ECCBits > 0 && bits > f.cfg.ECCBits {
 		f.counters.UncorrectableReads++
+		if f.tr.Enabled() {
+			f.tr.Emit("ftl.read.uncorrectable",
+				obs.Int("ppn", ppn), obs.Int("bits", int64(bits)))
+		}
 		return
 	}
 	if f.cfg.RefreshBits > 0 && bits >= f.cfg.RefreshBits {
@@ -51,6 +58,9 @@ func (f *FTL) refreshPage(ppn int64) {
 		return // nothing live; GC will reclaim the block eventually
 	}
 	f.refreshing[ppn] = true
+	if f.tr.Enabled() {
+		f.tr.Emit("ftl.refresh", obs.Int("ppn", ppn), obs.Int("live", int64(live)))
+	}
 	op := &pageOp{kind: kindRefresh, lsns: lsns, old: old, pu: f.nextPU()}
 	op.done = func() {
 		delete(f.refreshing, ppn)
@@ -78,6 +88,9 @@ func (f *FTL) scrubTick() {
 		return
 	}
 	const samples = 16
+	if f.tr.Enabled() {
+		f.tr.Emit("ftl.scrub.tick", obs.Int("candidates", int64(len(candidates))))
+	}
 	for s := 0; s < samples; s++ {
 		gb := candidates[f.rng.Intn(len(candidates))]
 		page := f.rng.Intn(f.pagesPerBlk)
@@ -122,6 +135,10 @@ func (f *FTL) retireBlock(pu *puState, blk int32) {
 	}
 	f.badBlocks[gb] = true
 	f.counters.GrownBadBlocks++
+	if f.tr.Enabled() {
+		f.tr.Emit("ftl.block.retire",
+			obs.Int("pu", int64(pu.index)), obs.Int("block", int64(blk)))
+	}
 	// Remove from the full list if present (it must never be a GC victim:
 	// its erase would fail).
 	for i, b := range pu.full {

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ssdtp/internal/obs"
 	"ssdtp/internal/sim"
 	"ssdtp/internal/ssd"
 	"ssdtp/internal/stats"
@@ -26,6 +27,21 @@ const (
 	OpTrim
 	OpFlush
 )
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpTrim:
+		return "trim"
+	case OpFlush:
+		return "flush"
+	default:
+		return "?"
+	}
+}
 
 // Request is one queued command. Done (optional) fires at completion with
 // the command's total latency (queueing + device).
@@ -59,10 +75,12 @@ type Config struct {
 // ErrQueueFull is returned when a submission queue is at capacity.
 var ErrQueueFull = errors.New("hostif: submission queue full")
 
-// pendingReq pairs a queued request with its submission time.
+// pendingReq pairs a queued request with its submission time and the trace
+// span that covers it from submission to completion.
 type pendingReq struct {
 	req    Request
 	submit sim.Time
+	sp     obs.Span
 }
 
 // Queue is one submission/completion queue pair.
@@ -91,17 +109,20 @@ type Controller struct {
 	dev    *ssd.Device
 	cfg    Config
 	queues []*Queue
+	tr     *obs.Tracer // the device's tracer; nil when tracing is off
 
 	inflight int
 	rrNext   int
 }
 
-// NewController wraps dev.
+// NewController wraps dev, inheriting its tracer (if any): each submitted
+// command gets a span spanning queueing plus device time, with an issue event
+// marking when arbitration handed it to the device.
 func NewController(dev *ssd.Device, cfg Config) *Controller {
 	if cfg.MaxOutstanding <= 0 {
 		cfg.MaxOutstanding = 32
 	}
-	return &Controller{dev: dev, cfg: cfg}
+	return &Controller{dev: dev, cfg: cfg, tr: dev.Tracer()}
 }
 
 // Device returns the underlying device.
@@ -128,7 +149,15 @@ func (c *Controller) Submit(q *Queue, req Request) error {
 		return ErrQueueFull
 	}
 	req.Off, req.Len = c.clamp(req.Off, req.Len)
-	q.pending = append(q.pending, pendingReq{req: req, submit: c.dev.Engine().Now()})
+	var sp obs.Span
+	if c.tr.Enabled() {
+		sp = c.tr.Begin("hostif.cmd",
+			obs.Int("queue", int64(q.id)),
+			obs.Str("op", req.Kind.String()),
+			obs.Int("off", req.Off),
+			obs.Int("len", req.Len))
+	}
+	q.pending = append(q.pending, pendingReq{req: req, submit: c.dev.Engine().Now(), sp: sp})
 	c.pump()
 	return nil
 }
@@ -143,7 +172,7 @@ func (c *Controller) pump() {
 		pr := q.pending[0]
 		copy(q.pending, q.pending[1:])
 		q.pending = q.pending[:len(q.pending)-1]
-		c.issue(q, pr.req, pr.submit)
+		c.issue(q, pr)
 	}
 }
 
@@ -196,14 +225,19 @@ func (c *Controller) pick() *Queue {
 }
 
 // issue sends one command to the device.
-func (c *Controller) issue(q *Queue, req Request, submit sim.Time) {
+func (c *Controller) issue(q *Queue, pr pendingReq) {
+	req, submit := pr.req, pr.submit
 	c.inflight++
+	if c.tr.Enabled() {
+		pr.sp.Event("hostif.issue", obs.Int("inflight", int64(c.inflight)))
+	}
 	eng := c.dev.Engine()
 	complete := func() {
 		c.inflight--
 		lat := eng.Now() - submit
 		q.Latency.Record(lat)
 		q.Completed++
+		pr.sp.End()
 		if req.Done != nil {
 			req.Done(lat)
 		}
@@ -218,8 +252,7 @@ func (c *Controller) issue(q *Queue, req Request, submit sim.Time) {
 	case OpTrim:
 		err = c.dev.TrimAsync(req.Off, req.Len, complete)
 	case OpFlush:
-		c.dev.FlushAsync(complete)
-		return
+		err = c.dev.FlushAsync(complete)
 	default:
 		panic(fmt.Sprintf("hostif: unknown op kind %d", req.Kind))
 	}

@@ -17,6 +17,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"ssdtp/internal/obs"
 )
 
 // Pool executes independent cells concurrently. The zero value is ready to
@@ -80,6 +82,15 @@ type Task[T any] struct {
 // Cell builds a Task from a label and a function.
 func Cell[T any](label string, run func() T) Task[T] {
 	return Task[T]{Label: label, Run: run}
+}
+
+// TracedCell builds a Task whose function receives the collector's tracer
+// for this cell's label. With a nil collector the tracer is nil and tracing
+// is free; either way the cell's observability stream is keyed by its label,
+// not by execution order, preserving the determinism contract. The label
+// must be unique within the collector or cells would interleave records.
+func TracedCell[T any](col *obs.Collector, label string, run func(tr *obs.Tracer) T) Task[T] {
+	return Task[T]{Label: label, Run: func() T { return run(col.Cell(label)) }}
 }
 
 // workers resolves the effective worker count for n cells. A nil pool runs

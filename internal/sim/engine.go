@@ -58,14 +58,23 @@ func (ev *Event) Cancel() {
 	}
 }
 
+// Hook observes every fired event: now is the clock after advancing to the
+// event, pending is the number of live events still queued (the fired event
+// has already left the queue). Hooks run inside Step, before the event's
+// callback, so they see the engine in a consistent state; they must derive
+// state only from their arguments and the simulation (never the wall clock)
+// to preserve determinism.
+type Hook func(now Time, pending int)
+
 // Engine is a discrete-event scheduler. The zero value is not usable; create
 // engines with NewEngine. Engine is not safe for concurrent use: the
 // simulation is single-threaded by design so that event ordering — and hence
 // every measured latency — is deterministic.
 type Engine struct {
-	now Time
-	pq  eventHeap
-	seq uint64
+	now  Time
+	pq   eventHeap
+	seq  uint64
+	hook Hook
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -75,6 +84,11 @@ func NewEngine() *Engine {
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetHook installs (or, with nil, removes) the engine's step observer. One
+// hook per engine: observability layers multiplex on their side. The hot
+// path pays a single nil check when no hook is installed.
+func (e *Engine) SetHook(h Hook) { e.hook = h }
 
 // Pending returns the number of live events queued. Canceled events leave
 // the queue at Cancel time and are never counted.
@@ -113,6 +127,9 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		e.now = ev.time
+		if e.hook != nil {
+			e.hook(e.now, len(e.pq))
+		}
 		ev.fn()
 		return true
 	}

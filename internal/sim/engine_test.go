@@ -323,6 +323,119 @@ func TestResourceUnitCapacityProperty(t *testing.T) {
 	}
 }
 
+// Regression: Release used to hand off to the next waiter by synchronous
+// recursion, nesting the stack proportionally to queue depth. A deep FIFO
+// chain of grant-then-release callbacks must complete in bounded stack.
+func TestResourceDeepQueueIterativeHandoff(t *testing.T) {
+	const depth = 20000
+	e := NewEngine()
+	r := NewResource(e)
+	granted := 0
+	lastInOrder := true
+	var stackAtLast int
+	r.Acquire(func() {}) // holder; released below to start the chain
+	for i := 0; i < depth; i++ {
+		i := i
+		r.Acquire(func() {
+			if granted != i {
+				lastInOrder = false
+			}
+			granted++
+			if i == depth-1 {
+				// The whole chain is synchronous; under recursive hand-off
+				// the goroutine stack here would be tens of megabytes. A
+				// small buffer that fits the trace proves it stayed flat.
+				buf := make([]byte, 256<<10)
+				stackAtLast = runtime.Stack(buf, false)
+			}
+			r.Release()
+		})
+	}
+	if got := r.QueueLen(); got != depth {
+		t.Fatalf("QueueLen = %d, want %d", got, depth)
+	}
+	r.Release() // triggers the full synchronous chain
+	if granted != depth {
+		t.Fatalf("granted %d of %d waiters", granted, depth)
+	}
+	if !lastInOrder {
+		t.Fatal("waiters granted out of FIFO order")
+	}
+	if r.Busy() || r.QueueLen() != 0 {
+		t.Fatalf("resource not idle after drain: busy=%v queue=%d", r.Busy(), r.QueueLen())
+	}
+	if stackAtLast >= 256<<10 {
+		t.Fatalf("stack trace at depth %d filled %d-byte buffer: hand-off is recursing", depth, stackAtLast)
+	}
+	// The resource must remain usable after a trampolined drain.
+	ran := false
+	r.Acquire(func() { ran = true })
+	r.Release()
+	if !ran {
+		t.Fatal("resource unusable after deep drain")
+	}
+}
+
+// Acquires issued while a hand-off loop is mid-flight must still respect
+// FIFO order with respect to already-queued waiters.
+func TestResourceAcquireDuringHandoffKeepsFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	var order []int
+	r.Acquire(func() {})
+	r.Acquire(func() {
+		order = append(order, 0)
+		// Queue a newcomer while waiter 1 is still queued: it must run
+		// after waiter 1, not jump the line through the idle window the
+		// hand-off loop opens.
+		r.Acquire(func() { order = append(order, 2) })
+		r.Release()
+	})
+	r.Acquire(func() {
+		order = append(order, 1)
+		r.Release()
+	})
+	r.Release()
+	r.Release() // the newcomer's hold
+	want := []int{0, 1, 2}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineHookObservesEveryStep(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	var times []Time
+	e.SetHook(func(now Time, pending int) {
+		fired++
+		times = append(times, now)
+		if pending != e.Pending() {
+			t.Fatalf("hook pending=%d, engine Pending()=%d", pending, e.Pending())
+		}
+	})
+	e.Schedule(10, func() {})
+	e.Schedule(5, func() { e.Schedule(1, func() {}) })
+	e.Run()
+	if fired != 3 {
+		t.Fatalf("hook fired %d times, want 3", fired)
+	}
+	want := []Time{5, 6, 10}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("hook times = %v, want %v", times, want)
+		}
+	}
+	e.SetHook(nil)
+	e.Schedule(1, func() {})
+	e.Run()
+	if fired != 3 {
+		t.Fatal("removed hook still fired")
+	}
+}
+
 func BenchmarkEngineThroughput(b *testing.B) {
 	// Events processed per second: the simulator's fundamental cost.
 	eng := NewEngine()

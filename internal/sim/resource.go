@@ -5,9 +5,16 @@ package sim
 // free; the callback must eventually arrange for Release to be called (often
 // after a Schedule'd delay).
 type Resource struct {
-	eng     *Engine
-	busy    bool
+	eng  *Engine
+	busy bool
+	// waiters[head:] are the queued callbacks in FIFO order. The head index
+	// avoids the O(n) shift per grant that a slice-pop would cost on deep
+	// queues; the array compacts whenever it fully drains.
 	waiters []func()
+	head    int
+	// granting marks an active hand-off loop in Release, so a Release from
+	// inside a granted callback unwinds instead of recursing.
+	granting bool
 	// BusySince records when the current holder acquired the resource,
 	// for utilization accounting.
 	BusySince Time
@@ -23,7 +30,7 @@ func NewResource(eng *Engine) *Resource {
 func (r *Resource) Busy() bool { return r.busy }
 
 // QueueLen returns the number of waiters (excluding the current holder).
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return len(r.waiters) - r.head }
 
 // BusyTime returns the cumulative simulated time the resource has been held.
 func (r *Resource) BusyTime() Time { return r.busyTotal }
@@ -31,7 +38,10 @@ func (r *Resource) BusyTime() Time { return r.busyTotal }
 // Acquire runs fn as soon as the resource is free (immediately if idle).
 // fn runs synchronously when the resource is granted; do not block in it.
 func (r *Resource) Acquire(fn func()) {
-	if !r.busy {
+	// Grant immediately only when nothing is queued ahead; an idle resource
+	// with waiters exists transiently inside Release's hand-off loop, and
+	// jumping the queue there would break FIFO order.
+	if !r.busy && r.head == len(r.waiters) {
 		r.busy = true
 		r.BusySince = r.eng.Now()
 		fn()
@@ -42,20 +52,35 @@ func (r *Resource) Acquire(fn func()) {
 
 // Release frees the resource and grants it to the next waiter, if any.
 // Panics if the resource is not held: that is always a model bug.
+//
+// Hand-off is iterative: a chain of grant-then-release callbacks (common
+// when many zero-duration holds queue up) consumes constant stack depth, not
+// depth proportional to the queue.
 func (r *Resource) Release() {
 	if !r.busy {
 		panic("sim: Release of idle resource")
 	}
 	r.busyTotal += r.eng.Now() - r.BusySince
-	if len(r.waiters) == 0 {
-		r.busy = false
+	r.busy = false
+	if r.granting {
+		// A hand-off loop is already on the stack below us; let it grant
+		// the next waiter after this callback unwinds.
 		return
 	}
-	next := r.waiters[0]
-	copy(r.waiters, r.waiters[1:])
-	r.waiters = r.waiters[:len(r.waiters)-1]
-	r.BusySince = r.eng.Now()
-	next()
+	r.granting = true
+	for !r.busy && r.head < len(r.waiters) {
+		next := r.waiters[r.head]
+		r.waiters[r.head] = nil
+		r.head++
+		if r.head == len(r.waiters) {
+			r.waiters = r.waiters[:0]
+			r.head = 0
+		}
+		r.busy = true
+		r.BusySince = r.eng.Now()
+		next()
+	}
+	r.granting = false
 }
 
 // Use is a convenience for the common hold-for-a-duration pattern: it

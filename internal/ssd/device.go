@@ -5,6 +5,7 @@ import (
 
 	"ssdtp/internal/ftl"
 	"ssdtp/internal/nand"
+	"ssdtp/internal/obs"
 	"ssdtp/internal/sim"
 	"ssdtp/internal/smart"
 )
@@ -42,6 +43,12 @@ type Config struct {
 	// WearLimit, if positive, is the per-block erase endurance; blocks
 	// past it fail and the FTL retires them.
 	WearLimit int
+
+	// Trace, when non-nil, captures request-lifecycle spans and FTL events
+	// for this device (see internal/obs). NewDevice binds the tracer to the
+	// device's engine and hands it to the FTL; nil (the default) keeps the
+	// whole observability layer at zero cost.
+	Trace *obs.Tracer
 }
 
 // Device is a complete simulated SSD. All I/O entry points are asynchronous
@@ -52,13 +59,23 @@ type Device struct {
 	cfg   Config
 	array *Array
 	fl    *ftl.FTL
+	tr    *obs.Tracer // nil when tracing is off
 
 	sectorSize int
 	content    map[int64][]byte // sector payloads when StoreContent
 
 	hostBytesWritten int64
 	hostBytesRead    int64
+
+	inflightFlushes int
 }
+
+// maxOutstandingFlushes bounds FLUSH commands concurrently outstanding at
+// the device — the submission-queue analogue of the read/write validation
+// errors. Generously above any host-interface queue depth in this
+// repository; hitting it means a runaway flush loop, and FlushAsync reports
+// it instead of accepting unbounded work.
+const maxOutstandingFlushes = 1024
 
 // NewDevice assembles a device on eng per cfg.
 func NewDevice(eng *sim.Engine, cfg Config) *Device {
@@ -66,9 +83,11 @@ func NewDevice(eng *sim.Engine, cfg Config) *Device {
 	fcfg.Geometry = cfg.Geometry
 	fcfg.Channels = cfg.Channels
 	fcfg.ChipsPerChannel = cfg.ChipsPerChannel
+	fcfg.Trace = cfg.Trace
 	if fcfg.SectorSize == 0 {
 		fcfg.SectorSize = 4096
 	}
+	cfg.Trace.BindEngine(eng)
 	if cfg.CounterUnitBytes == 0 {
 		cfg.CounterUnitBytes = cfg.Geometry.PageSize
 	}
@@ -89,6 +108,7 @@ func NewDevice(eng *sim.Engine, cfg Config) *Device {
 		cfg:        cfg,
 		array:      array,
 		fl:         ftl.New(eng, array, fcfg),
+		tr:         cfg.Trace,
 		sectorSize: fcfg.SectorSize,
 	}
 	if cfg.StoreContent {
@@ -99,6 +119,26 @@ func NewDevice(eng *sim.Engine, cfg Config) *Device {
 
 // Engine returns the simulation engine the device runs on.
 func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// Tracer returns the device's tracer (nil when tracing is off), so layers
+// above the device (hostif) can annotate the same trace stream.
+func (d *Device) Tracer() *obs.Tracer { return d.tr }
+
+// traceRequest opens a request-lifecycle span and returns a completion
+// callback that closes it before running done. With tracing off it returns
+// done unchanged and an inert span — the hot path pays one Enabled check.
+func (d *Device) traceRequest(name string, off, length int64, done func()) (obs.Span, func()) {
+	if !d.tr.Enabled() {
+		return obs.Span{}, done
+	}
+	sp := d.tr.Begin(name, obs.Int("off", off), obs.Int("len", length))
+	return sp, func() {
+		sp.End()
+		if done != nil {
+			done()
+		}
+	}
+}
 
 // Boot runs the controller's power-on sequence (chip enumeration). Optional
 // for experiments that only need the data path; reverse-engineering rigs
@@ -168,8 +208,10 @@ func (d *Device) WriteAsync(off int64, data []byte, length int64, done func()) e
 	d.hostBytesWritten += length
 	lsn := off / int64(d.sectorSize)
 	count := int(length / int64(d.sectorSize))
+	sp, complete := d.traceRequest("ssd.write", off, length, done)
 	d.eng.Schedule(d.cfg.HostOverhead, func() {
-		if err := d.fl.Write(lsn, count, done); err != nil {
+		sp.Event("ftl.dispatch")
+		if err := d.fl.Write(lsn, count, complete); err != nil {
 			panic(err) // range was validated above; this is a model bug
 		}
 	})
@@ -198,8 +240,10 @@ func (d *Device) ReadAsync(off int64, buf []byte, length int64, done func()) err
 	d.hostBytesRead += length
 	lsn := off / int64(d.sectorSize)
 	count := int(length / int64(d.sectorSize))
+	sp, complete := d.traceRequest("ssd.read", off, length, done)
 	d.eng.Schedule(d.cfg.HostOverhead, func() {
-		if err := d.fl.Read(lsn, count, done); err != nil {
+		sp.Event("ftl.dispatch")
+		if err := d.fl.Read(lsn, count, complete); err != nil {
 			panic(err)
 		}
 	})
@@ -218,22 +262,40 @@ func (d *Device) TrimAsync(off, length int64, done func()) error {
 	}
 	lsn := off / int64(d.sectorSize)
 	count := int(length / int64(d.sectorSize))
+	sp, complete := d.traceRequest("ssd.trim", off, length, done)
 	d.eng.Schedule(d.cfg.HostOverhead, func() {
+		sp.Event("ftl.dispatch")
 		if err := d.fl.Trim(lsn, count); err != nil {
 			panic(err)
 		}
-		if done != nil {
-			done()
+		if complete != nil {
+			complete()
 		}
 	})
 	return nil
 }
 
-// FlushAsync drains the device write cache and settles background work.
-func (d *Device) FlushAsync(done func()) {
+// FlushAsync drains the device write cache and settles background work; done
+// fires once everything has settled. Like the other async entry points it
+// returns submission errors: ErrFlushBacklog when maxOutstandingFlushes
+// flushes are already in flight (the command is not accepted and done will
+// never fire).
+func (d *Device) FlushAsync(done func()) error {
+	if d.inflightFlushes >= maxOutstandingFlushes {
+		return ErrFlushBacklog
+	}
+	d.inflightFlushes++
+	sp, complete := d.traceRequest("ssd.flush", 0, 0, done)
 	d.eng.Schedule(d.cfg.HostOverhead, func() {
-		d.fl.Flush(done)
+		sp.Event("ftl.dispatch")
+		d.fl.Flush(func() {
+			d.inflightFlushes--
+			if complete != nil {
+				complete()
+			}
+		})
 	})
+	return nil
 }
 
 // SMART renders the current S.M.A.R.T. attribute table. Counter semantics
@@ -260,6 +322,49 @@ func (d *Device) SMART() *smart.Table {
 	t.Define(smart.AttrPowerOnHours, "Power_On_Hours")
 	t.Set(smart.AttrPowerOnHours, int64(d.eng.Now()/(3600*sim.Second)))
 	return t
+}
+
+// PublishMetrics snapshots the device's ground-truth state — FTL counters,
+// free-space/valid-sector gauges, host byte totals — into tr's metric set
+// under stable ssdtp_* names. Call it at the end of a run (experiments call
+// it per cell); every value derives from the simulation, so the resulting
+// dump is deterministic. A nil tracer makes this a no-op.
+func (d *Device) PublishMetrics(tr *obs.Tracer) {
+	m := tr.Metrics()
+	if m == nil {
+		return
+	}
+	c := d.fl.Counters()
+	m.Set("ssdtp_host_bytes_written_total", d.hostBytesWritten)
+	m.Set("ssdtp_host_bytes_read_total", d.hostBytesRead)
+	m.Set("ssdtp_ftl_host_write_requests_total", c.HostWriteRequests)
+	m.Set("ssdtp_ftl_host_read_requests_total", c.HostReadRequests)
+	m.Set("ssdtp_ftl_host_sectors_written_total", c.HostSectorsWritten)
+	m.Set("ssdtp_ftl_host_sectors_read_total", c.HostSectorsRead)
+	m.Set("ssdtp_ftl_trimmed_sectors_total", c.TrimmedSectors)
+	m.Set("ssdtp_ftl_cache_hits_total", c.CacheHits)
+	m.Set("ssdtp_ftl_cache_read_hits_total", c.CacheReadHits)
+	m.Set("ssdtp_ftl_cache_evictions_total", c.CacheEvictions)
+	m.Set("ssdtp_ftl_data_pages_programmed_total", c.DataPagesProgrammed)
+	m.Set("ssdtp_ftl_gc_pages_programmed_total", c.GCPagesProgrammed)
+	m.Set("ssdtp_ftl_map_pages_programmed_total", c.MapPagesProgrammed)
+	m.Set("ssdtp_ftl_parity_pages_programmed_total", c.ParityPagesProgrammed)
+	m.Set("ssdtp_ftl_pslc_pages_programmed_total", c.PSLCPagesProgrammed)
+	m.Set("ssdtp_ftl_refresh_pages_programmed_total", c.RefreshPagesProgrammed)
+	m.Set("ssdtp_ftl_pages_programmed_total", c.PagesProgrammed())
+	m.Set("ssdtp_ftl_page_reads_total", c.PageReads)
+	m.Set("ssdtp_ftl_gc_page_reads_total", c.GCPageReads)
+	m.Set("ssdtp_ftl_mount_reads_total", c.MountReads)
+	m.Set("ssdtp_ftl_scrub_reads_total", c.ScrubReads)
+	m.Set("ssdtp_ftl_erases_total", c.Erases)
+	m.Set("ssdtp_ftl_gc_runs_total", c.GCRuns)
+	m.Set("ssdtp_ftl_gc_valid_sectors_moved_total", c.GCValidMoved)
+	m.Set("ssdtp_ftl_padded_sectors_total", c.PaddedSectors)
+	m.Set("ssdtp_ftl_uncorrectable_reads_total", c.UncorrectableReads)
+	m.Set("ssdtp_ftl_grown_bad_blocks", c.GrownBadBlocks)
+	m.Set("ssdtp_ftl_wear_level_relocations_total", c.WearLevelRelocations)
+	m.Set("ssdtp_ftl_free_blocks", int64(d.fl.FreeBlocks()))
+	m.Set("ssdtp_ftl_valid_sectors", d.fl.ValidSectors())
 }
 
 // NANDPageTicks returns the combined host+FTL "NAND Pages" counter, the

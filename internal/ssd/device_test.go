@@ -2,6 +2,7 @@ package ssd
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -82,6 +83,48 @@ func TestSyncDevImplementsBlockdev(t *testing.T) {
 	}
 	if dev.Size() != d.Size() || dev.SectorSize() != 4096 {
 		t.Error("geometry forwarding broken")
+	}
+}
+
+// Regression: FlushAsync used to have no submission-error path at all, so a
+// caller flooding FLUSH commands would grow the event queue without bound and
+// SyncDev.Flush could not surface the condition. The device now bounds
+// outstanding flushes and rejects the excess.
+func TestFlushBacklogRejected(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDevice(eng, tinyConfig())
+	for i := 0; i < maxOutstandingFlushes; i++ {
+		if err := d.FlushAsync(nil); err != nil {
+			t.Fatalf("flush %d rejected early: %v", i, err)
+		}
+	}
+	if err := d.FlushAsync(nil); !errors.Is(err, ErrFlushBacklog) {
+		t.Fatalf("flush %d: got %v, want ErrFlushBacklog", maxOutstandingFlushes, err)
+	}
+	// Draining the backlog re-opens the gate.
+	eng.Run()
+	done := false
+	if err := d.FlushAsync(func() { done = true }); err != nil {
+		t.Fatalf("flush after drain rejected: %v", err)
+	}
+	eng.Run()
+	if !done {
+		t.Error("post-drain flush never completed")
+	}
+}
+
+// SyncDev.Flush must propagate submission errors instead of spinning the
+// engine waiting for a completion that was never scheduled.
+func TestSyncDevFlushPropagatesBacklog(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDevice(eng, tinyConfig())
+	for i := 0; i < maxOutstandingFlushes; i++ {
+		if err := d.FlushAsync(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := (SyncDev{D: d}).Flush(); !errors.Is(err, ErrFlushBacklog) {
+		t.Fatalf("SyncDev.Flush = %v, want ErrFlushBacklog", err)
 	}
 }
 

@@ -8,6 +8,12 @@ import "errors"
 // bug, never a legitimate device state.
 var ErrStalled = errors.New("ssd: event queue drained before request completed")
 
+// ErrFlushBacklog reports that FlushAsync refused a FLUSH because the device
+// already has maxOutstandingFlushes flush commands in flight. The rejected
+// command's callback will never fire; callers must treat it like any other
+// submission error.
+var ErrFlushBacklog = errors.New("ssd: too many outstanding flush commands")
+
 // SyncDev adapts a Device to the synchronous blockdev.Device interface by
 // driving the simulation engine until each request completes. Use it from
 // code structured around blocking I/O (the file systems in fsim); do not mix
@@ -53,10 +59,13 @@ func (s SyncDev) Trim(off, length int64) error {
 	return nil
 }
 
-// Flush implements blockdev.Device.
+// Flush implements blockdev.Device. Submission errors (ErrFlushBacklog) and
+// stalls (ErrStalled) propagate, matching ReadAt/WriteAt/Trim.
 func (s SyncDev) Flush() error {
 	done := false
-	s.D.FlushAsync(func() { done = true })
+	if err := s.D.FlushAsync(func() { done = true }); err != nil {
+		return err
+	}
 	if s.D.eng.RunWhile(func() bool { return !done }) {
 		return ErrStalled
 	}

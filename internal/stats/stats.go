@@ -53,11 +53,18 @@ func (r *LatencyRecorder) ensureSorted() {
 	}
 }
 
-// Percentile returns the p-th percentile (0 < p <= 100) using the
-// nearest-rank method. It returns 0 with no samples.
+// Percentile returns the p-th percentile using the nearest-rank method.
+// The domain is clamped: p <= 0 yields the minimum, p >= 100 the maximum,
+// so out-of-range inputs degrade to the nearest order statistic instead of
+// misindexing. NaN (which compares false against everything and would turn
+// math.Ceil into an undefined int conversion) returns 0, as does an empty
+// recorder.
 func (r *LatencyRecorder) Percentile(p float64) sim.Time {
-	if len(r.samples) == 0 {
+	if len(r.samples) == 0 || math.IsNaN(p) {
 		return 0
+	}
+	if p > 100 {
+		p = 100
 	}
 	r.ensureSorted()
 	rank := int(math.Ceil(p / 100 * float64(len(r.samples))))
@@ -139,14 +146,21 @@ func (h *Histogram) Add(d sim.Time) {
 // Count returns the total number of samples.
 func (h *Histogram) Count() int64 { return h.count }
 
-// String renders non-empty buckets as "[lo..hi)µs: n" lines.
+// String renders non-empty buckets as "[lo..hi)µs: n" lines. The first
+// bucket is [0..1µs) (sub-microsecond samples land there), and the last is
+// open-ended: Add clamps everything at or above its lower bound into it, so
+// an honest label is "[lo..  +inf)", not a bounded range.
 func (h *Histogram) String() string {
 	out := ""
 	lo := int64(0)
 	for b, n := range h.buckets {
 		hi := int64(1) << uint(b)
 		if n > 0 {
-			out += fmt.Sprintf("[%6dµs..%6dµs): %d\n", lo, hi, n)
+			if b == len(h.buckets)-1 {
+				out += fmt.Sprintf("[%6dµs..  +inf): %d\n", lo, n)
+			} else {
+				out += fmt.Sprintf("[%6dµs..%6dµs): %d\n", lo, hi, n)
+			}
 		}
 		lo = hi
 	}

@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -25,6 +27,39 @@ func TestPercentileNearestRank(t *testing.T) {
 		if got := r.Percentile(c.p); got != c.want {
 			t.Errorf("P%v = %d, want %d", c.p, got, c.want)
 		}
+	}
+}
+
+// The clamped percentile domain: p <= 0 degrades to the minimum, p >= 100
+// to the maximum, and NaN — which would otherwise flow through math.Ceil
+// into an undefined float-to-int conversion — returns 0.
+func TestPercentileDomainClamped(t *testing.T) {
+	r := NewLatencyRecorder()
+	for i := 1; i <= 10; i++ {
+		r.Record(sim.Time(i * 100))
+	}
+	cases := []struct {
+		name string
+		p    float64
+		want sim.Time
+	}{
+		{"p=0", 0, 100},
+		{"negative", -37, 100},
+		{"-Inf", math.Inf(-1), 100},
+		{"p>100", 250, 1000},
+		{"+Inf", math.Inf(1), 1000},
+	}
+	for _, c := range cases {
+		if got := r.Percentile(c.p); got != c.want {
+			t.Errorf("%s: Percentile(%v) = %d, want %d", c.name, c.p, got, c.want)
+		}
+	}
+	if got := r.Percentile(math.NaN()); got != 0 {
+		t.Errorf("Percentile(NaN) = %d, want 0", got)
+	}
+	empty := NewLatencyRecorder()
+	if got := empty.Percentile(math.NaN()); got != 0 {
+		t.Errorf("empty Percentile(NaN) = %d, want 0", got)
 	}
 }
 
@@ -143,6 +178,36 @@ func TestHistogram(t *testing.T) {
 	}
 	if !strings.Contains(h.String(), "µs") {
 		t.Error("histogram rendering missing unit")
+	}
+}
+
+// The first bucket covers [0..1µs) — sub-microsecond samples get an honest
+// lower bound of zero, not a phantom 1µs floor.
+func TestHistogramSubMicrosecondLabel(t *testing.T) {
+	var h Histogram
+	h.Add(500 * sim.Nanosecond)
+	h.Add(0)
+	s := h.String()
+	if !strings.Contains(s, "[     0µs..     1µs): 2") {
+		t.Errorf("sub-µs bucket label wrong:\n%s", s)
+	}
+}
+
+// Regression: Add clamps every sample at or above 2^38µs into the final
+// bucket, so String must render it as open-ended rather than the bounded
+// [2^38..2^39) range it used to claim.
+func TestHistogramOverflowBucketOpenEnded(t *testing.T) {
+	var h Histogram
+	top := sim.Time(1) << 38 * sim.Microsecond // exactly the last bucket's lower bound
+	h.Add(top)
+	h.Add(math.MaxInt64) // far past any bounded bucket
+	s := h.String()
+	want := fmt.Sprintf("[%6dµs..  +inf): 2\n", int64(1)<<38)
+	if s != want {
+		t.Errorf("overflow bucket rendering:\ngot:  %q\nwant: %q", s, want)
+	}
+	if strings.Contains(s, fmt.Sprintf("%dµs)", int64(1)<<39)) {
+		t.Errorf("overflow bucket still claims a bounded upper edge:\n%s", s)
 	}
 }
 

@@ -32,7 +32,7 @@ func Replay(dev *ssd.Device, ops []blockdev.Op) Result {
 		case blockdev.OpTrim:
 			err = dev.TrimAsync(clampOff(dev, op.Off, op.Len), op.Len, complete)
 		case blockdev.OpFlush:
-			dev.FlushAsync(complete)
+			err = dev.FlushAsync(complete)
 		default:
 			continue
 		}

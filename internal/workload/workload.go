@@ -307,7 +307,9 @@ func (g *generator) pump() {
 				g.sinceSync++
 				if g.sinceSync >= g.spec.SyncEvery {
 					g.sinceSync = 0
-					g.dev.FlushAsync(func() { g.pump() })
+					if err := g.dev.FlushAsync(func() { g.pump() }); err != nil {
+						panic(fmt.Sprintf("workload %s: flush: %v", g.spec.Name, err))
+					}
 					return
 				}
 			}
