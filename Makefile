@@ -12,7 +12,7 @@ vet:
 	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
 
 bench:
-	$(GO) test -bench . -benchmem -benchtime 1x -run xxx .
+	scripts/bench.sh BENCH_3.json
 
 reproduce:
 	$(GO) run ./cmd/reproduce

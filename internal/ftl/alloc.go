@@ -233,6 +233,10 @@ func (f *FTL) commitPage(pu *puState, op *pageOp, ppn int64, gb int64) {
 	}
 	f.drainPUWaiters(pu)
 	f.pumpDrain()
+	// The op is fully retired: every slot committed, done ran, and nothing
+	// queued can reference it (waiters hold distinct ops; entries that were
+	// superseded compare flight against their newer program). Recycle it.
+	f.releaseOp(op)
 }
 
 // drainPUWaiters issues as many queued page ops as current free space allows.
@@ -250,11 +254,11 @@ func (f *FTL) drainPUWaiters(pu *puState) {
 // next PU in allocation order.
 func (f *FTL) writeParity() {
 	f.stripeProgress = 0
-	lsns := make([]int64, f.secPerPage)
-	for i := range lsns {
-		lsns[i] = -1
+	op := f.newPageOp(kindParity, f.nextPU())
+	for i := range op.lsnsBuf {
+		op.lsnsBuf[i] = -1
 	}
-	op := &pageOp{kind: kindParity, lsns: lsns, pu: f.nextPU()}
+	op.lsns = op.lsnsBuf
 	f.submitPage(op)
 }
 
@@ -288,10 +292,10 @@ func (f *FTL) writeJournalPage() {
 	if f.tr.Enabled() {
 		f.tr.Emit("ftl.map.journal", obs.Int("pending_updates", f.mapUpdates))
 	}
-	lsns := make([]int64, f.secPerPage)
-	for i := range lsns {
-		lsns[i] = -1
+	op := f.newPageOp(kindMap, f.nextPU())
+	for i := range op.lsnsBuf {
+		op.lsnsBuf[i] = -1
 	}
-	op := &pageOp{kind: kindMap, lsns: lsns, pu: f.nextPU()}
+	op.lsns = op.lsnsBuf
 	f.submitPage(op)
 }

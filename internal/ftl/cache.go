@@ -11,11 +11,16 @@ const (
 	entryDead                       // trimmed or superseded object; skip on pop
 )
 
-// cacheEntry is one logical sector resident in the write cache.
+// cacheEntry is one logical sector resident in the write cache. Entries are
+// recycled through the cache's freelist once fully detached: dead, with no
+// fifo node referencing them (queued) and no in-flight program carrying
+// them (flight). The three fields together are the reference count.
 type cacheEntry struct {
 	lsn    int64
 	state  entryState
-	flight *pageOp // the program carrying this copy when entryFlushing
+	queued bool        // a fifo node currently references this entry
+	flight *pageOp     // the program carrying this copy when entryFlushing
+	next   *cacheEntry // freelist link
 }
 
 // writeCache implements the data-cache designation: a FIFO write-back cache
@@ -35,7 +40,34 @@ type writeCache struct {
 	flushingBytes int
 	inflight      int // cache-flush page programs in flight
 
+	free *cacheEntry // recycled entries, linked through cacheEntry.next
+
 	admitWaiters []func()
+}
+
+// newEntry returns a recycled (or fresh) dirty entry for lsn.
+func (c *writeCache) newEntry(lsn int64) *cacheEntry {
+	e := c.free
+	if e != nil {
+		c.free = e.next
+		e.next = nil
+		e.lsn = lsn
+		e.state = entryDirty
+		e.queued = false
+		e.flight = nil
+		return e
+	}
+	return &cacheEntry{lsn: lsn, state: entryDirty}
+}
+
+// recycleIfDead returns e to the freelist once nothing references it: it is
+// dead, no fifo node points at it, and no in-flight program carries it.
+// Callers invoke this after dropping whichever reference they held.
+func (c *writeCache) recycleIfDead(e *cacheEntry) {
+	if e.state == entryDead && !e.queued && e.flight == nil {
+		e.next = c.free
+		c.free = e
+	}
 }
 
 func newWriteCache(capBytes, sector int) *writeCache {
@@ -71,6 +103,9 @@ func (c *writeCache) drop(lsn int64) {
 		// flushingBytes released at commit.
 	}
 	e.state = entryDead
+	// A dirty entry still has its fifo node (popDirty recycles it) and a
+	// flushing one its carrying program (commit recycles it), so the entry
+	// is never free-listed here.
 }
 
 // writeCached admits a host write into the data cache, completing after
@@ -87,13 +122,15 @@ func (f *FTL) writeCached(lsn int64, count int, done func()) {
 				// again; the flying program's slot will be dead on commit.
 				e.state = entryDirty
 				e.flight = nil
+				e.queued = true
 				c.fifo = append(c.fifo, e)
 				c.dirtyBytes += c.sector
 				c.dirtyCount++
 			}
 			continue
 		}
-		e := &cacheEntry{lsn: l, state: entryDirty}
+		e := c.newEntry(l)
+		e.queued = true
 		c.entries[l] = e
 		c.fifo = append(c.fifo, e)
 		c.dirtyBytes += c.sector
@@ -126,14 +163,18 @@ func (f *FTL) maybeFlushCache() {
 	}
 }
 
-// popDirty removes and returns the oldest dirty entry, skipping stale nodes.
+// popDirty removes and returns the oldest dirty entry, skipping stale
+// nodes. Skipped nodes were the last reference to their (dead) entries, so
+// this is also where trimmed-while-dirty entries return to the freelist.
 func (c *writeCache) popDirty() *cacheEntry {
 	for len(c.fifo) > 0 {
 		e := c.fifo[0]
 		c.fifo = c.fifo[1:]
+		e.queued = false
 		if e.state == entryDirty && c.entries[e.lsn] == e {
 			return e
 		}
+		c.recycleIfDead(e)
 	}
 	return nil
 }
@@ -142,8 +183,8 @@ func (c *writeCache) popDirty() *cacheEntry {
 // one program (padding a short tail) and submits it.
 func (f *FTL) startCacheFlush() {
 	c := f.cache
-	lsns := make([]int64, f.secPerPage)
-	entries := make([]*cacheEntry, f.secPerPage)
+	op := f.newPageOp(kindData, 0)
+	lsns, entries := op.lsnsBuf, op.entriesBuf
 	n := 0
 	for n < f.secPerPage {
 		e := c.popDirty()
@@ -159,19 +200,23 @@ func (f *FTL) startCacheFlush() {
 		n++
 	}
 	if n == 0 {
+		f.releaseOp(op)
 		return
 	}
 	for i := n; i < f.secPerPage; i++ {
 		lsns[i] = -1
 	}
 	c.inflight++
-	op := &pageOp{kind: kindData, lsns: lsns, entries: entries, pu: f.nextPU()}
+	op.lsns, op.entries, op.pu = lsns, entries, f.nextPU()
 	op.slc = f.takePSLCCredit()
-	op.done = func() {
-		c.inflight--
-		f.maybeFlushCache()
-		f.releaseAdmitWaiters()
+	if f.cacheFlushDone == nil { // one closure for every flush op, built once
+		f.cacheFlushDone = func() {
+			c.inflight--
+			f.maybeFlushCache()
+			f.releaseAdmitWaiters()
+		}
 	}
+	op.done = f.cacheFlushDone
 	for _, e := range entries {
 		if e != nil {
 			e.flight = op
@@ -193,9 +238,18 @@ func (f *FTL) commitCachedSector(e *cacheEntry, op *pageOp, lsn, psn int64) {
 		if op.slc && f.pslcIndex != nil {
 			f.pslcIndex[lsn] = psn
 		}
+		c.recycleIfDead(e)
 		return
 	}
 	// Superseded (re-dirtied) or trimmed while in flight: dead on arrival.
+	if e.state == entryDead && e.flight == op {
+		// Trimmed while this program carried it; the program was the last
+		// reference. (A flight pointing elsewhere means the entry was
+		// re-dirtied and is now carried by a newer program — not ours to
+		// recycle.)
+		e.flight = nil
+		c.recycleIfDead(e)
+	}
 	f.p2l[psn] = psnFree
 }
 

@@ -38,15 +38,26 @@ const (
 )
 
 // pageOp is one pending page program: which logical sectors it carries (or
-// padding), where it goes, and what to do on commit.
+// padding), where it goes, and what to do on commit. Ops are recycled
+// through a per-FTL freelist (newPageOp/releaseOp): the write path retires
+// one op per page programmed, and at steady state the pool serves them all
+// without allocating.
 type pageOp struct {
 	kind    pageKind
 	lsns    []int64       // per slot; <0 means padding/metadata
-	old     []int64       // kindGC: expected current psn per slot
+	old     []int64       // kindGC/kindRefresh: expected current psn per slot
 	entries []*cacheEntry // kindData via cache: entry per slot (nil slots padded)
 	pu      int
 	slc     bool
 	done    func()
+
+	// Backing arrays (length secPerPage) retained across recycling; the
+	// slices above are views into these — or nil, which several call sites
+	// use to distinguish op flavors (entries==nil means a direct write).
+	lsnsBuf    []int64
+	oldBuf     []int64
+	entriesBuf []*cacheEntry
+	next       *pageOp // freelist link
 }
 
 // FTL is one flash translation layer instance. It is single-threaded on the
@@ -103,7 +114,7 @@ type FTL struct {
 	inflightReads int64
 	drainWaiters  []func()
 
-	idleEvent  *sim.Event
+	idleEvent  sim.Event // zero value when no patrol armed; Cancel is then a no-op
 	idleStreak int
 
 	// Reliability management state.
@@ -112,6 +123,15 @@ type FTL struct {
 
 	// yieldedGC holds parked collection continuations (GCYield mode).
 	yieldedGC []func()
+
+	// opFree recycles pageOps (linked through pageOp.next); readScratch is
+	// the read path's reusable distinct-page list. Both exist so the
+	// per-request hot path allocates nothing at steady state.
+	opFree      *pageOp
+	readScratch []int64
+	// cacheFlushDone is the shared completion closure for cache-eviction
+	// programs (identical for every flush, so built once, lazily).
+	cacheFlushDone func()
 
 	counters Counters
 
@@ -338,6 +358,41 @@ func (f *FTL) addrOfPPN(ppn int64) (pu int, a nand.Addr) {
 	return pu, a
 }
 
+// newPageOp returns a recycled (or fresh) page op for the given kind and
+// PU. The op's slice views start nil; fill the ones the kind uses from the
+// backing arrays.
+func (f *FTL) newPageOp(kind pageKind, pu int) *pageOp {
+	op := f.opFree
+	if op != nil {
+		f.opFree = op.next
+		op.next = nil
+	} else {
+		op = &pageOp{
+			lsnsBuf:    make([]int64, f.secPerPage),
+			oldBuf:     make([]int64, f.secPerPage),
+			entriesBuf: make([]*cacheEntry, f.secPerPage),
+		}
+	}
+	op.kind = kind
+	op.pu = pu
+	return op
+}
+
+// releaseOp recycles a committed op. Callers must be done with every view:
+// the entry pointers are cleared so recycled cache entries are not pinned,
+// and the slice views are reset so the next tenant's kind checks (entries
+// == nil, old == nil) see a clean op.
+func (f *FTL) releaseOp(op *pageOp) {
+	op.done = nil
+	op.slc = false
+	op.lsns, op.old, op.entries = nil, nil, nil
+	for i := range op.entriesBuf {
+		op.entriesBuf[i] = nil
+	}
+	op.next = f.opFree
+	f.opFree = op
+}
+
 // scheduleDone completes a request after DRAM-path latency, tolerating nil
 // callbacks.
 func (f *FTL) scheduleDone(done func()) {
@@ -386,7 +441,8 @@ func (f *FTL) writeDirect(lsn int64, count int, done func()) {
 	pages := (count + f.secPerPage - 1) / f.secPerPage
 	pending := pages
 	for p := 0; p < pages; p++ {
-		lsns := make([]int64, f.secPerPage)
+		op := f.newPageOp(kindData, f.nextPU())
+		lsns := op.lsnsBuf
 		for i := range lsns {
 			s := int(int64(p)*int64(f.secPerPage)) + i
 			if s < count {
@@ -395,7 +451,7 @@ func (f *FTL) writeDirect(lsn int64, count int, done func()) {
 				lsns[i] = -1
 			}
 		}
-		op := &pageOp{kind: kindData, lsns: lsns, pu: f.nextPU()}
+		op.lsns = lsns
 		op.slc = f.takePSLCCredit()
 		op.done = func() {
 			pending--
@@ -417,7 +473,11 @@ func (f *FTL) Read(lsn int64, count int, done func()) error {
 	f.touchIdle()
 	f.counters.HostReadRequests++
 	f.counters.HostSectorsRead += int64(count)
-	pages := make(map[int64]struct{})
+	// Distinct physical pages in first-touch order. A reused slice replaces
+	// the old per-request map: no allocation, and — unlike map iteration —
+	// the flash reads now issue in a deterministic order. (The linear dedup
+	// scan is cheap: requests span at most a few dozen pages.)
+	pages := f.readScratch[:0]
 	for s := int64(0); s < int64(count); s++ {
 		l := lsn + s
 		if f.cache != nil {
@@ -430,14 +490,25 @@ func (f *FTL) Read(lsn int64, count int, done func()) error {
 		if psn < 0 {
 			continue
 		}
-		pages[psn/int64(f.secPerPage)] = struct{}{}
+		ppn := psn / int64(f.secPerPage)
+		seen := false
+		for _, p := range pages {
+			if p == ppn {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			pages = append(pages, ppn)
+		}
 	}
+	f.readScratch = pages
 	if len(pages) == 0 {
 		f.scheduleDone(done)
 		return nil
 	}
 	pending := len(pages)
-	for ppn := range pages {
+	for _, ppn := range pages {
 		ppn := ppn
 		pu, a := f.addrOfPPN(ppn)
 		p := &f.pus[pu]
@@ -571,9 +642,7 @@ func (f *FTL) touchIdle() {
 	if !f.cfg.IdleGC {
 		return
 	}
-	if f.idleEvent != nil {
-		f.idleEvent.Cancel()
-	}
+	f.idleEvent.Cancel()
 	f.idleStreak = 0
 	f.idleEvent = f.eng.Schedule(f.cfg.IdleDelay, f.idleTick)
 }
@@ -588,7 +657,7 @@ const idlePatrolCap = 40
 // idleTick runs opportunistic background work: replenish pSLC credits and
 // collect toward high water everywhere.
 func (f *FTL) idleTick() {
-	f.idleEvent = nil
+	f.idleEvent = sim.Event{}
 	if f.cfg.PSLCBytes > 0 {
 		f.pslcCredits = int64(f.cfg.PSLCBytes)
 	}

@@ -218,8 +218,8 @@ func (f *FTL) collectBlock(pu *puState, victim int32) {
 		if f.gcYieldPoint(pu, func() { writeNext(p) }) {
 			return
 		}
-		lsns := make([]int64, f.secPerPage)
-		old := make([]int64, f.secPerPage)
+		op := f.newPageOp(kindGC, pu.index)
+		lsns, old := op.lsnsBuf, op.oldBuf
 		for i := range lsns {
 			mi := p*f.secPerPage + i
 			if mi < len(moves) {
@@ -229,7 +229,7 @@ func (f *FTL) collectBlock(pu *puState, victim int32) {
 				lsns[i] = -1
 			}
 		}
-		op := &pageOp{kind: kindGC, lsns: lsns, old: old, pu: pu.index}
+		op.lsns, op.old = lsns, old
 		op.done = func() { writeNext(p + 1) }
 		f.submitPage(op)
 	}

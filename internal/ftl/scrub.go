@@ -41,8 +41,8 @@ func (f *FTL) refreshPage(ppn int64) {
 		return
 	}
 	base := ppn * int64(f.secPerPage)
-	lsns := make([]int64, f.secPerPage)
-	old := make([]int64, f.secPerPage)
+	op := f.newPageOp(kindRefresh, 0)
+	lsns, old := op.lsnsBuf, op.oldBuf
 	live := 0
 	for i := 0; i < f.secPerPage; i++ {
 		psn := base + int64(i)
@@ -55,13 +55,14 @@ func (f *FTL) refreshPage(ppn int64) {
 		}
 	}
 	if live == 0 {
+		f.releaseOp(op)
 		return // nothing live; GC will reclaim the block eventually
 	}
 	f.refreshing[ppn] = true
 	if f.tr.Enabled() {
 		f.tr.Emit("ftl.refresh", obs.Int("ppn", ppn), obs.Int("live", int64(live)))
 	}
-	op := &pageOp{kind: kindRefresh, lsns: lsns, old: old, pu: f.nextPU()}
+	op.lsns, op.old, op.pu = lsns, old, f.nextPU()
 	op.done = func() {
 		delete(f.refreshing, ppn)
 	}

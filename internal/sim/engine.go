@@ -5,12 +5,17 @@
 // scheduling callbacks on an Engine. Time is measured in integer nanoseconds
 // and never tied to the wall clock, so every experiment is reproducible
 // bit-for-bit from its seed.
+//
+// The scheduler is the simulator's innermost loop — every modeled latency is
+// one Schedule/Step round trip — so its hot path is allocation-free in steady
+// state: fired and canceled events are recycled through a per-engine freelist,
+// and the priority queue is an intrusive 4-ary min-heap specialized to the
+// event type (no interface boxing, no container/heap indirection). See
+// DESIGN.md ("Scheduler internals") for the layout and the generation scheme
+// that keeps recycled handles safe.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point on (or a span of) the simulated clock, in nanoseconds.
 type Time = int64
@@ -23,39 +28,76 @@ const (
 	Second      Time = 1000 * Millisecond
 )
 
-// Event is a scheduled callback. It is returned by Schedule/At so callers
-// can cancel pending work (for example an idle timer that is superseded by
-// a new request).
-type Event struct {
-	time     Time
-	seq      uint64
-	index    int // heap index; -1 when not queued
-	fn       func()
-	canceled bool
-	eng      *Engine
+// node is the engine-owned storage for one scheduled callback. Nodes live in
+// the engine's 4-ary heap while pending and on its freelist between uses;
+// they are never returned to callers directly — Event handles carry a
+// generation so a stale handle to a recycled node is inert.
+type node struct {
+	time Time
+	seq  uint64
+	fn   func()
+	// gen increments every time the node leaves the queue (fire or cancel),
+	// invalidating all handles minted for the previous tenancy.
+	gen uint64
+	// canceledGen records the gen the node held when it was last canceled,
+	// so a handle can distinguish "canceled" from "fired" after release.
+	// Initialized to an impossible gen on fresh nodes.
+	canceledGen uint64
+	index       int32 // heap index; -1 when not queued
+	eng         *Engine
+	next        *node // freelist link
 }
 
-// Canceled reports whether Cancel was called on the event.
-func (ev *Event) Canceled() bool { return ev.canceled }
+// Event is a cancelable handle to a scheduled callback, returned by
+// Schedule/At. It is a small value (copy freely); the zero Event refers to
+// nothing and all its methods are no-ops. Handles are generation-checked:
+// once the event fires or is canceled the engine recycles its storage, and
+// any retained handle becomes inert rather than aliasing the next event.
+type Event struct {
+	n   *node
+	gen uint64
+}
 
-// Time returns the simulated time the event fires at.
-func (ev *Event) Time() Time { return ev.time }
+// live reports whether the handle still refers to a pending event.
+func (ev Event) live() bool { return ev.n != nil && ev.n.gen == ev.gen }
 
-// Cancel prevents a pending event from firing. The event is removed from
-// the queue immediately and its callback (with whatever the closure
-// captured) is released, so repeatedly superseding a far-future timer —
-// the FTL's idle-patrol pattern — holds neither memory nor a Pending()
-// count. Canceling an event that has already fired (or was already
-// canceled) is a no-op.
-func (ev *Event) Cancel() {
-	if ev.canceled {
+// Pending reports whether the event is still queued (not yet fired and not
+// canceled).
+func (ev Event) Pending() bool { return ev.live() }
+
+// Canceled reports whether this event was canceled before it could fire; a
+// fired event reports false. (Handles are weak: if the engine recycles the
+// slot and the new tenant is canceled too, an old canceled handle reverts to
+// false. Callers in this repository query Canceled only while they still own
+// the timer, where the answer is exact.)
+func (ev Event) Canceled() bool {
+	return ev.n != nil && ev.n.gen != ev.gen && ev.n.canceledGen == ev.gen
+}
+
+// Time returns the simulated time a pending event fires at, or 0 once the
+// event has fired or been canceled.
+func (ev Event) Time() Time {
+	if !ev.live() {
+		return 0
+	}
+	return ev.n.time
+}
+
+// Cancel prevents a pending event from firing. The event leaves the queue
+// immediately and its callback (with whatever the closure captured) is
+// released, so repeatedly superseding a far-future timer — the FTL's
+// idle-patrol pattern — holds neither memory nor a Pending() count.
+// Canceling an event that already fired (or was already canceled), or the
+// zero Event, is a no-op.
+func (ev Event) Cancel() {
+	n := ev.n
+	if n == nil || n.gen != ev.gen {
 		return
 	}
-	ev.canceled = true
-	ev.fn = nil
-	if ev.index >= 0 {
-		heap.Remove(&ev.eng.pq, ev.index)
-	}
+	e := n.eng
+	e.remove(int(n.index))
+	n.canceledGen = n.gen
+	e.release(n)
 }
 
 // Hook observes every fired event: now is the clock after advancing to the
@@ -71,9 +113,13 @@ type Hook func(now Time, pending int)
 // simulation is single-threaded by design so that event ordering — and hence
 // every measured latency — is deterministic.
 type Engine struct {
-	now  Time
-	pq   eventHeap
+	now Time
+	// pq is a 4-ary min-heap on (time, seq): children of slot i live at
+	// 4i+1..4i+4. Every queued node is live — Cancel removes eagerly — so
+	// the head is always the next event to fire.
+	pq   []*node
 	seq  uint64
+	free *node // recycled nodes, linked through node.next
 	hook Hook
 }
 
@@ -97,7 +143,7 @@ func (e *Engine) Pending() int { return len(e.pq) }
 // Schedule queues fn to run delay nanoseconds from now. A negative delay is
 // treated as zero. Events scheduled for the same instant fire in the order
 // they were scheduled.
-func (e *Engine) Schedule(delay Time, fn func()) *Event {
+func (e *Engine) Schedule(delay Time, fn func()) Event {
 	if delay < 0 {
 		delay = 0
 	}
@@ -105,35 +151,59 @@ func (e *Engine) Schedule(delay Time, fn func()) *Event {
 }
 
 // At queues fn to run at absolute simulated time t. Scheduling in the past
-// panics: it would silently reorder causality.
-func (e *Engine) At(t Time, fn func()) *Event {
+// panics: it would silently reorder causality. Steady state allocates
+// nothing: the event's storage comes from the engine's freelist whenever a
+// prior event has fired or been canceled.
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d, before now=%d", t, e.now))
 	}
 	e.seq++
-	ev := &Event{time: t, seq: e.seq, fn: fn, index: -1, eng: e}
-	heap.Push(&e.pq, ev)
-	return ev
+	n := e.free
+	if n != nil {
+		e.free = n.next
+		n.next = nil
+	} else {
+		n = &node{eng: e, canceledGen: ^uint64(0)}
+	}
+	n.time = t
+	n.seq = e.seq
+	n.fn = fn
+	e.push(n)
+	return Event{n: n, gen: n.gen}
+}
+
+// release recycles a node that left the queue: the generation bump makes
+// every outstanding handle inert, the callback reference is dropped so the
+// closure becomes collectable, and the node joins the freelist for the next
+// At.
+func (e *Engine) release(n *node) {
+	n.gen++
+	n.fn = nil
+	n.index = -1
+	n.next = e.free
+	e.free = n
 }
 
 // Step fires the next pending event and advances the clock to its time.
-// It reports whether an event was fired. (Canceled events never reach the
-// queue's head — Cancel removes them eagerly — but the check stays as
-// defense in depth.)
+// It reports whether an event was fired. The fired node is recycled before
+// its callback runs, so a callback that schedules new work (the dominant
+// pattern: every modeled latency is a chained event) reuses the storage it
+// just vacated.
 func (e *Engine) Step() bool {
-	for len(e.pq) > 0 {
-		ev := heap.Pop(&e.pq).(*Event)
-		if ev.canceled || ev.fn == nil {
-			continue
-		}
-		e.now = ev.time
-		if e.hook != nil {
-			e.hook(e.now, len(e.pq))
-		}
-		ev.fn()
-		return true
+	if len(e.pq) == 0 {
+		return false
 	}
-	return false
+	n := e.pq[0]
+	e.popHead()
+	e.now = n.time
+	fn := n.fn
+	e.release(n)
+	if e.hook != nil {
+		e.hook(e.now, len(e.pq))
+	}
+	fn()
+	return true
 }
 
 // Run fires events until the queue drains.
@@ -143,16 +213,10 @@ func (e *Engine) Run() {
 }
 
 // RunUntil fires events with time <= t, then advances the clock to exactly t.
+// (Every queued event is live — Cancel removes eagerly — so peeking the head
+// needs no skip loop.)
 func (e *Engine) RunUntil(t Time) {
-	for len(e.pq) > 0 {
-		next := e.pq[0]
-		if next.canceled {
-			heap.Pop(&e.pq)
-			continue
-		}
-		if next.time > t {
-			break
-		}
+	for len(e.pq) > 0 && e.pq[0].time <= t {
 		e.Step()
 	}
 	if t > e.now {
@@ -178,37 +242,109 @@ func (e *Engine) RunWhile(cond func() bool) bool {
 	return false
 }
 
-// eventHeap orders events by (time, seq) so same-instant events fire in
-// scheduling order.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// before is the heap order: (time, seq) ascending, so same-instant events
+// fire in scheduling order. seq is engine-global and strictly increasing,
+// so the order is total and firing order is deterministic by construction.
+func before(a, b *node) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// push appends n and sifts it up. 4-ary layout: parent of slot i is
+// (i-1)/4. A 4-ary heap halves the tree depth of a binary heap — fewer
+// compare/swap levels per operation and better cache locality on the small
+// queues (tens to hundreds of events) the SSD models sustain.
+func (e *Engine) push(n *node) {
+	i := len(e.pq)
+	e.pq = append(e.pq, n)
+	for i > 0 {
+		p := (i - 1) >> 2
+		pn := e.pq[p]
+		if !before(n, pn) {
+			break
+		}
+		e.pq[i] = pn
+		pn.index = int32(i)
+		i = p
+	}
+	e.pq[i] = n
+	n.index = int32(i)
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+// siftDown restores heap order below slot i (whose occupant may be too
+// large), comparing against the least of up to four children per level.
+func (e *Engine) siftDown(i int) {
+	pq := e.pq
+	sz := len(pq)
+	n := pq[i]
+	for {
+		c := i<<2 + 1
+		if c >= sz {
+			break
+		}
+		m := c
+		mn := pq[c]
+		end := c + 4
+		if end > sz {
+			end = sz
+		}
+		for j := c + 1; j < end; j++ {
+			if before(pq[j], mn) {
+				m, mn = j, pq[j]
+			}
+		}
+		if !before(mn, n) {
+			break
+		}
+		pq[i] = mn
+		mn.index = int32(i)
+		i = m
+	}
+	pq[i] = n
+	n.index = int32(i)
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// popHead removes the minimum node (slot 0) from the heap.
+func (e *Engine) popHead() {
+	last := len(e.pq) - 1
+	n := e.pq[last]
+	e.pq[last] = nil
+	e.pq = e.pq[:last]
+	if last > 0 {
+		e.pq[0] = n
+		e.siftDown(0)
+	}
+}
+
+// remove deletes the node at slot i (Cancel's path): the last node takes
+// its place and sifts whichever direction restores order.
+func (e *Engine) remove(i int) {
+	last := len(e.pq) - 1
+	n := e.pq[last]
+	e.pq[last] = nil
+	e.pq = e.pq[:last]
+	if i == last {
+		return
+	}
+	e.pq[i] = n
+	n.index = int32(i)
+	if i > 0 && before(n, e.pq[(i-1)>>2]) {
+		// Sift up: move n toward the root.
+		for i > 0 {
+			p := (i - 1) >> 2
+			pn := e.pq[p]
+			if !before(n, pn) {
+				break
+			}
+			e.pq[i] = pn
+			pn.index = int32(i)
+			i = p
+		}
+		e.pq[i] = n
+		n.index = int32(i)
+		return
+	}
+	e.siftDown(i)
 }

@@ -63,11 +63,9 @@ func TestCancel(t *testing.T) {
 // plus its captured closure until the far-future pop.
 func TestSupersededTimersDoNotAccumulate(t *testing.T) {
 	e := NewEngine()
-	var ev *Event
+	var ev Event // zero Event: Cancel is a no-op
 	for i := 0; i < 10000; i++ {
-		if ev != nil {
-			ev.Cancel()
-		}
+		ev.Cancel()
 		ev = e.Schedule(30*60*Second, func() {})
 		if got := e.Pending(); got != 1 {
 			t.Fatalf("Pending = %d after supersede %d, want 1", got, i)
@@ -125,7 +123,7 @@ func TestPendingCountsLiveEventsOnly(t *testing.T) {
 func TestCancelMidHeapPreservesOrder(t *testing.T) {
 	e := NewEngine()
 	var fired []Time
-	var evs []*Event
+	var evs []Event
 	for _, d := range []Time{50, 10, 30, 20, 40} {
 		evs = append(evs, e.Schedule(d, func() { fired = append(fired, e.Now()) }))
 	}

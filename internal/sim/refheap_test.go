@@ -1,0 +1,92 @@
+package sim
+
+import "container/heap"
+
+// This file keeps the original container/heap scheduler as a test-only
+// reference implementation. The property tests in queue_test.go replay
+// randomized schedule/cancel/run programs against both schedulers and demand
+// identical firing order — the determinism contract the intrusive 4-ary
+// queue must preserve by construction.
+
+// refEvent mirrors the original Event: heap-indexed, lazily canceled.
+type refEvent struct {
+	time     Time
+	seq      uint64
+	index    int
+	fn       func()
+	canceled bool
+}
+
+func (ev *refEvent) cancel() {
+	ev.canceled = true
+	ev.fn = nil
+}
+
+// refEngine is the original scheduler: container/heap over a slice of
+// *refEvent, canceled events skipped at pop time.
+type refEngine struct {
+	now Time
+	pq  refHeap
+	seq uint64
+}
+
+func (e *refEngine) schedule(delay Time, fn func()) *refEvent {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	ev := &refEvent{time: e.now + delay, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+func (e *refEngine) step() bool {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*refEvent)
+		if ev.canceled || ev.fn == nil {
+			continue
+		}
+		e.now = ev.time
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+func (e *refEngine) run() {
+	for e.step() {
+	}
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+
+func (h refHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h refHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *refHeap) Push(x any) {
+	ev := x.(*refEvent)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

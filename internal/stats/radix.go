@@ -1,0 +1,69 @@
+package stats
+
+// radixSortTime sorts a ascending with an LSD (least-significant-digit)
+// radix sort over 8-bit digits, using scratch as the ping-pong buffer
+// (grown as needed; the grown buffer is returned for reuse). Latency
+// recorders sort the same growing sample set on every percentile query, and
+// a comparator-free counting sort is both O(n) and branch-predictable —
+// sort.Slice's interface comparator was the recorder's hottest path.
+//
+// Signed order is preserved by biasing the most-significant digit: for
+// two's-complement int64, flipping the top byte's sign bit makes unsigned
+// byte order agree with signed order. All lower digits compare identically
+// either way.
+func radixSortTime(a, scratch []int64) []int64 {
+	if len(a) < 64 {
+		// Counting passes don't pay off on tiny inputs; insertion sort is
+		// cache-resident and allocation-free.
+		insertionSortTime(a)
+		return scratch
+	}
+	if cap(scratch) < len(a) {
+		scratch = make([]int64, len(a))
+	}
+	src, dst := a, scratch[:len(a)]
+	for shift := uint(0); shift < 64; shift += 8 {
+		bias := byte(0)
+		if shift == 56 {
+			bias = 0x80
+		}
+		var count [256]int
+		for _, v := range src {
+			count[byte(uint64(v)>>shift)^bias]++
+		}
+		// A pass where every key shares the digit moves nothing — the common
+		// case for latencies, which rarely populate the upper bytes.
+		if count[byte(uint64(src[0])>>shift)^bias] == len(src) {
+			continue
+		}
+		sum := 0
+		for i := range count {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for _, v := range src {
+			d := byte(uint64(v)>>shift) ^ bias
+			dst[count[d]] = v
+			count[d]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		copy(a, src)
+	}
+	return scratch
+}
+
+// insertionSortTime sorts a small slice ascending in place.
+func insertionSortTime(a []int64) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

@@ -8,7 +8,7 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
 
 	"ssdtp/internal/sim"
 )
@@ -19,6 +19,7 @@ import (
 // blur precisely the signal under study.
 type LatencyRecorder struct {
 	samples []sim.Time
+	scratch []sim.Time // radix-sort ping-pong buffer, reused across queries
 	sorted  bool
 	sum     sim.Time
 }
@@ -48,7 +49,7 @@ func (r *LatencyRecorder) Mean() float64 {
 
 func (r *LatencyRecorder) ensureSorted() {
 	if !r.sorted {
-		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.scratch = radixSortTime(r.samples, r.scratch)
 		r.sorted = true
 	}
 }
@@ -133,11 +134,17 @@ type Histogram struct {
 	count   int64
 }
 
-// Add records one sample.
+// Add records one sample. The bucket index is the bit length of the sample
+// in microseconds (bucket b >= 1 covers [2^(b-1), 2^b) µs; bucket 0 is
+// sub-microsecond), computed with a single bits.Len64 instead of a shift
+// loop; the top bucket clamps everything beyond the table.
 func (h *Histogram) Add(d sim.Time) {
 	b := 0
-	for v := d / sim.Microsecond; v > 0 && b < len(h.buckets)-1; v >>= 1 {
-		b++
+	if v := d / sim.Microsecond; v > 0 {
+		b = bits.Len64(uint64(v))
+		if b > len(h.buckets)-1 {
+			b = len(h.buckets) - 1
+		}
 	}
 	h.buckets[b]++
 	h.count++

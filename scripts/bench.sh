@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# bench.sh — run the repo's benchmark suite with -benchmem and record the
+# results as a machine-readable baseline.
+#
+# Two groups run with different benchtimes:
+#   * figure/table benchmarks (package .): each iteration is one full
+#     experiment, so -benchtime 1x keeps the run bounded;
+#   * scheduler/stats microbenchmarks (internal/sim, internal/stats):
+#     nanosecond-scale operations that need wall-clock benchtime to settle.
+#
+# Usage: scripts/bench.sh [output.json]
+# Env:   BENCHTIME  figure/table benchtime   (default 1x)
+#        MICROTIME  microbenchmark benchtime (default 1s)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_3.json}"
+BENCHTIME="${BENCHTIME:-1x}"
+MICROTIME="${MICROTIME:-1s}"
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo ">> figure/table benchmarks (-benchtime $BENCHTIME)" >&2
+go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" . | tee -a "$TMP" >&2
+echo ">> scheduler/stats microbenchmarks (-benchtime $MICROTIME)" >&2
+go test -run '^$' -bench . -benchmem -benchtime "$MICROTIME" \
+	./internal/sim/ ./internal/stats/ | tee -a "$TMP" >&2
+
+GOVER="$(go env GOVERSION)"
+CPU="$(awk -F': ' '/^cpu:/ {print $2; exit}' "$TMP")"
+
+# Each benchmark line is "BenchmarkName iters (value unit)+" — fold the
+# value/unit pairs into a metrics object keyed by unit. Names are kept
+# verbatim (including any -GOMAXPROCS suffix), matching benchstat.
+{
+	printf '{\n'
+	printf '  "go_version": "%s",\n' "$GOVER"
+	printf '  "cpu": "%s",\n' "$CPU"
+	printf '  "benchtime": {"figures": "%s", "micro": "%s"},\n' "$BENCHTIME" "$MICROTIME"
+	printf '  "benchmarks": [\n'
+	awk '
+		/^Benchmark/ {
+			name = $1
+			if (sep) printf "%s", sep
+			printf "    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", name, $2
+			msep = ""
+			for (i = 3; i < NF; i += 2) {
+				printf "%s\"%s\": %s", msep, $(i+1), $i
+				msep = ", "
+			}
+			printf "}}"
+			sep = ",\n"
+		}
+		END { printf "\n" }
+	' "$TMP"
+	printf '  ]\n'
+	printf '}\n'
+} >"$OUT"
+
+echo ">> wrote $OUT" >&2
