@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all test vet bench reproduce reproduce-full cover clean
+.PHONY: all test vet bench bench-diff reproduce reproduce-full cover clean
 
 all: test vet
 
@@ -12,7 +12,11 @@ vet:
 	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
 
 bench:
-	scripts/bench.sh BENCH_3.json
+	scripts/bench.sh BENCH_4.json
+
+# Gate the scheduler/stats hot paths against the previous committed baseline.
+bench-diff:
+	$(GO) run ./cmd/benchdiff -filter 'BenchmarkEngine|BenchmarkRecorder' BENCH_3.json BENCH_4.json
 
 reproduce:
 	$(GO) run ./cmd/reproduce

@@ -1,0 +1,120 @@
+// Command benchdiff compares two benchmark baselines produced by
+// scripts/bench.sh and fails when a selected metric regresses beyond a
+// threshold. CI diffs the committed baselines (BENCH_N.json vs BENCH_N-1.json)
+// so a PR that slows the scheduler or stats hot paths fails deterministically,
+// without re-running timed benchmarks on shared runners.
+//
+// Usage:
+//
+//	benchdiff [-metric ns/op] [-filter REGEX] [-max-regress PCT] old.json new.json
+//
+// Benchmarks present in only one file are reported but never fail the run
+// (experiments come and go; the gate is for hot paths that exist in both).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+type baseline struct {
+	GoVersion  string      `json:"go_version"`
+	CPU        string      `json:"cpu"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+type benchmark struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func load(path string) (map[string]benchmark, *baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]benchmark, len(b.Benchmarks))
+	for _, bm := range b.Benchmarks {
+		m[bm.Name] = bm
+	}
+	return m, &b, nil
+}
+
+func main() {
+	metric := flag.String("metric", "ns/op", "metric to compare")
+	filter := flag.String("filter", ".", "regexp selecting benchmarks that gate the run")
+	maxRegress := flag.Float64("max-regress", 10, "fail when the metric grows more than this percentage")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] old.json new.json")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*filter)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	oldSet, oldMeta, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newSet, newMeta, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if oldMeta.CPU != newMeta.CPU || oldMeta.GoVersion != newMeta.GoVersion {
+		fmt.Printf("note: baselines from different environments (%s/%s vs %s/%s); comparing anyway\n",
+			oldMeta.GoVersion, oldMeta.CPU, newMeta.GoVersion, newMeta.CPU)
+	}
+
+	names := make([]string, 0, len(newSet))
+	for name := range newSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := 0
+	for _, name := range names {
+		nb := newSet[name]
+		ob, ok := oldSet[name]
+		if !ok {
+			fmt.Printf("  new        %-50s %12.4g %s\n", name, nb.Metrics[*metric], *metric)
+			continue
+		}
+		ov, nv := ob.Metrics[*metric], nb.Metrics[*metric]
+		if ov == 0 {
+			continue
+		}
+		pct := (nv - ov) / ov * 100
+		status := "ok  "
+		if re.MatchString(name) && pct > *maxRegress {
+			status = "FAIL"
+			failed++
+		}
+		gate := " "
+		if re.MatchString(name) {
+			gate = "*"
+		}
+		fmt.Printf("  %s %s %-50s %12.4g -> %12.4g  %+7.2f%%\n", status, gate, name, ov, nv, pct)
+	}
+	for name := range oldSet {
+		if _, ok := newSet[name]; !ok {
+			fmt.Printf("  gone       %-50s\n", name)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("%d benchmark(s) regressed more than %.1f%% on %s\n", failed, *maxRegress, *metric)
+		os.Exit(1)
+	}
+	fmt.Printf("no gated benchmark regressed more than %.1f%% on %s\n", *maxRegress, *metric)
+}

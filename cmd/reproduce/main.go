@@ -12,9 +12,14 @@
 // ordered by cell label, so they too are byte-identical for any -parallel
 // value.
 //
+// Expensive preconditioning (the fig3-family steady-state prefill, the aged
+// file systems of fig1/tabS7) is built once per distinct image and cloned
+// per cell via drive-state snapshots; -snapshot-cache=false rebuilds every
+// cell from scratch instead. Output is byte-identical either way.
+//
 // Usage:
 //
-//	reproduce [-run fig1,fig2,fig3,fig4a,fig4b,fig5,fig6|all] [-full] [-seed N] [-parallel N] [-quiet] [-trace FILE] [-metrics FILE]
+//	reproduce [-run fig1,fig2,fig3,fig4a,fig4b,fig5,fig6|all] [-full] [-seed N] [-parallel N] [-quiet] [-trace FILE] [-metrics FILE] [-snapshot-cache=false]
 package main
 
 import (
@@ -40,7 +45,10 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines on stderr")
 	traceFile := flag.String("trace", "", "write a JSONL span trace of the traced experiments to this file")
 	metricsFile := flag.String("metrics", "", "write a Prometheus-style text dump of per-cell metrics to this file")
+	snapCache := flag.Bool("snapshot-cache", true, "build each distinct preconditioned drive/file-system image once and clone it per cell (results are identical either way)")
 	flag.Parse()
+
+	experiments.SetSnapshotCache(*snapCache)
 
 	progress := func(ev runner.Event) {
 		switch ev.Kind {

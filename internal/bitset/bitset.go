@@ -1,0 +1,93 @@
+// Package bitset provides a small growable bitset used where the simulator
+// previously kept map[int64]bool flags (retired blocks, factory bad blocks,
+// refresh-in-flight pages). A bitset keeps the flag state in a flat []uint64,
+// which snapshot/clone can copy with one memcpy instead of re-hashing every
+// key — and membership tests touch one word instead of a map bucket chain.
+package bitset
+
+// Set is a growable bitset. The zero value is an empty set ready for use.
+// Indices are non-negative; Get beyond the current length reports false.
+type Set struct {
+	words []uint64
+}
+
+// Get reports whether bit i is set. Out-of-range (including an empty set)
+// reports false, so callers need no sizing handshake.
+func (s *Set) Get(i int64) bool {
+	w := i >> 6
+	if i < 0 || w >= int64(len(s.words)) {
+		return false
+	}
+	return s.words[w]&(1<<uint(i&63)) != 0
+}
+
+// Set sets bit i, growing the backing storage as needed. Negative indices
+// panic: they are always a caller bug.
+func (s *Set) Set(i int64) {
+	if i < 0 {
+		panic("bitset: negative index")
+	}
+	w := i >> 6
+	for int64(len(s.words)) <= w {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= 1 << uint(i&63)
+}
+
+// Clear clears bit i. Clearing beyond the current length is a no-op.
+func (s *Set) Clear(i int64) {
+	w := i >> 6
+	if i < 0 || w >= int64(len(s.words)) {
+		return
+	}
+	s.words[w] &^= 1 << uint(i&63)
+}
+
+// Any reports whether any bit is set.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset clears every bit without releasing storage.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy.
+func (s *Set) Clone() Set {
+	if len(s.words) == 0 {
+		return Set{}
+	}
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return Set{words: w}
+}
+
+// CopyFrom makes s an exact copy of src, reusing s's storage when it is
+// large enough.
+func (s *Set) CopyFrom(src *Set) {
+	if cap(s.words) < len(src.words) {
+		s.words = make([]uint64, len(src.words))
+	} else {
+		s.words = s.words[:len(src.words)]
+	}
+	copy(s.words, src.words)
+}

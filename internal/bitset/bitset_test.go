@@ -1,0 +1,93 @@
+package bitset
+
+import "testing"
+
+func TestZeroValue(t *testing.T) {
+	var s Set
+	if s.Get(0) || s.Get(1000) {
+		t.Fatal("empty set reports a bit set")
+	}
+	if s.Any() || s.Count() != 0 {
+		t.Fatal("empty set not empty")
+	}
+	s.Clear(500) // no-op, must not panic or grow
+	if len(s.words) != 0 {
+		t.Fatal("Clear grew the set")
+	}
+}
+
+func TestSetGetClear(t *testing.T) {
+	var s Set
+	bits := []int64{0, 1, 63, 64, 65, 127, 128, 1000}
+	for _, b := range bits {
+		s.Set(b)
+	}
+	for _, b := range bits {
+		if !s.Get(b) {
+			t.Fatalf("bit %d not set", b)
+		}
+	}
+	if s.Get(2) || s.Get(999) || s.Get(1001) {
+		t.Fatal("unset bit reads true")
+	}
+	if got := s.Count(); got != len(bits) {
+		t.Fatalf("Count = %d, want %d", got, len(bits))
+	}
+	s.Clear(64)
+	if s.Get(64) {
+		t.Fatal("Clear(64) did not clear")
+	}
+	if !s.Get(63) || !s.Get(65) {
+		t.Fatal("Clear(64) disturbed neighbors")
+	}
+	if s.Get(2000) {
+		t.Fatal("Get past length must be false")
+	}
+}
+
+func TestNegative(t *testing.T) {
+	var s Set
+	if s.Get(-1) {
+		t.Fatal("Get(-1) must be false")
+	}
+	s.Clear(-1) // no-op
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set(-1) must panic")
+		}
+	}()
+	s.Set(-1)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	var s Set
+	s.Set(10)
+	s.Set(700)
+	c := s.Clone()
+	if !c.Get(10) || !c.Get(700) || c.Count() != 2 {
+		t.Fatal("clone missing bits")
+	}
+	c.Set(11)
+	s.Clear(10)
+	if c.Get(10) == false || s.Get(11) {
+		t.Fatal("clone shares storage with source")
+	}
+}
+
+func TestCopyFromAndReset(t *testing.T) {
+	var src, dst Set
+	src.Set(5)
+	src.Set(200)
+	dst.Set(4000) // larger storage than src needs; must be reusable
+	dst.CopyFrom(&src)
+	if !dst.Get(5) || !dst.Get(200) || dst.Get(4000) || dst.Count() != 2 {
+		t.Fatal("CopyFrom mismatch")
+	}
+	src.Reset()
+	if src.Any() {
+		t.Fatal("Reset left bits set")
+	}
+	if !dst.Get(5) {
+		t.Fatal("Reset of src disturbed dst")
+	}
+}

@@ -5,7 +5,6 @@ import (
 
 	"ssdtp/internal/fsim"
 	"ssdtp/internal/runner"
-	"ssdtp/internal/sim"
 	"ssdtp/internal/ssd"
 	"ssdtp/internal/stats"
 )
@@ -51,8 +50,8 @@ func (r Fig1Result) Table() string {
 	return t.String() + fmt.Sprintf("ratio ranges %.2fx..%.2fx across device x aging\n", lo, hi)
 }
 
-// fig1Device builds a fresh device of the named model.
-func fig1Device(model string, scale Scale, seed int64) *ssd.Device {
+// fig1Config returns the device config of the named model.
+func fig1Config(model string, seed int64) ssd.Config {
 	var cfg ssd.Config
 	switch model {
 	case "S64":
@@ -61,7 +60,7 @@ func fig1Device(model string, scale Scale, seed int64) *ssd.Device {
 		cfg = ssd.S120()
 	}
 	cfg.FTL.Seed = seed
-	return ssd.NewDevice(sim.NewEngine(), cfg)
+	return cfg
 }
 
 // fig1Cell is one (device, aging, fs-kind) simulation's outcome.
@@ -70,18 +69,11 @@ type fig1Cell struct {
 	frag float64
 }
 
-// fig1RunFS builds a fresh device, ages a file system of the given kind on
-// it, and runs the fileserver benchmark — one self-contained cell.
-func fig1RunFS(model, kind string, prof fsim.AgingProfile, scale Scale, ops, seed int64) fig1Cell {
-	dev := fig1Device(model, scale, seed)
-	disk := fsim.SSDDisk{Dev: dev}
-	var fs fsim.FS
-	if kind == "extfs" {
-		fs = fsim.NewExtFS(disk)
-	} else {
-		fs = fsim.NewLogFS(disk)
-	}
-	fsim.Age(fs, prof, seed)
+// fig1RunFS obtains a device carrying an aged file system of the given kind
+// (cloned from the preconditioning cache, or built fresh with it off) and
+// runs the fileserver benchmark — one self-contained cell.
+func fig1RunFS(model, kind string, prof fsim.AgingProfile, ops, seed int64) fig1Cell {
+	fs, dev := agedFS(model, kind, prof, seed)
 	res := fsim.Fileserver(fs, dev.Engine(), ops, seed+100)
 	cell := fig1Cell{ops: res.OpsPerSecond()}
 	if e, ok := fs.(*fsim.ExtFS); ok {
@@ -108,7 +100,7 @@ func Fig1Aging(scale Scale, seed int64) Fig1Result {
 				model, prof, kind := model, prof, kind
 				cells = append(cells, runner.Cell(
 					fmt.Sprintf("fig1/%s/%s/%s", model, prof, kind),
-					func() fig1Cell { return fig1RunFS(model, kind, prof, scale, ops, seed) }))
+					func() fig1Cell { return fig1RunFS(model, kind, prof, ops, seed) }))
 			}
 		}
 	}

@@ -92,36 +92,16 @@ func (r Fig3Result) Table() string {
 
 // fig3Device builds and fully prefills one device so measurement happens in
 // steady state (past the priming stage) where GC runs. A non-nil tracer is
-// bound to the device but suspended for the prefill: the interesting trace is
+// bound to the device but sees none of the prefill: the interesting trace is
 // the measured phase, and skipping the (identical-per-config) priming traffic
-// keeps trace files proportional to what the experiment reports.
+// keeps trace files proportional to what the experiment reports. With the
+// preconditioning cache on (the default), the prefill image is built once per
+// distinct configuration and cloned here (see precond.go).
 func fig3Device(cfgMut func(*ssd.Config), seed int64, tr *obs.Tracer) *ssd.Device {
 	cfg := ssd.MQSimBase()
 	cfg.FTL.Seed = seed
-	cfg.Trace = tr
 	cfgMut(&cfg)
-	tr.Suspend()
-	dev := ssd.NewDevice(sim.NewEngine(), cfg)
-	// Sequential prefill of 85% of the logical space, plus one overwrite
-	// pass of its first half to mix block ages and create reclaimable
-	// space (a fully-valid drive gives garbage collection nothing to
-	// collect).
-	fill := dev.Size() * 85 / 100 / (64 * 1024) * (64 * 1024)
-	workload.Run(dev, workload.Spec{
-		Name: "prefill", Pattern: workload.Sequential, RequestBytes: 64 * 1024,
-		Length: fill,
-	}, workload.Options{MaxRequests: fill / (64 * 1024)})
-	workload.Run(dev, workload.Spec{
-		Name: "prefill2", Pattern: workload.Sequential, RequestBytes: 64 * 1024,
-		Length: fill / 2,
-	}, workload.Options{MaxRequests: fill / 2 / (64 * 1024)})
-	done := false
-	if err := dev.FlushAsync(func() { done = true }); err != nil {
-		panic(err)
-	}
-	dev.Engine().RunWhile(func() bool { return !done })
-	tr.Resume()
-	return dev
+	return prefilledDevice(cfg, tr)
 }
 
 // Fig3TailLatency runs the experiment: uniform random writes of increasing

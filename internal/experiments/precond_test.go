@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ssdtp/internal/fsim"
+	"ssdtp/internal/ftl"
+	"ssdtp/internal/obs"
+	"ssdtp/internal/sim"
+	"ssdtp/internal/ssd"
+	"ssdtp/internal/workload"
+)
+
+// fig3CellFingerprint builds one fig3-family cell with the snapshot cache as
+// given and runs a measurement workload against it, returning everything the
+// experiment could observe: request counts, the complete latency sample
+// stream, the S.M.A.R.T. table, and the full trace + metrics dumps.
+func fig3CellFingerprint(cache bool, mutate func(*ssd.Config)) []string {
+	SetSnapshotCache(cache)
+	defer SetSnapshotCache(true)
+	col := obs.NewCollector()
+	tr := col.Cell("cell")
+	dev := fig3Device(mutate, 42, tr)
+	res := workload.Run(dev, workload.Spec{
+		Name: "measure", Pattern: workload.Uniform, RequestBytes: 16384,
+		QueueDepth: 4, Seed: 42,
+	}, workload.Options{Duration: 150 * sim.Millisecond})
+	dev.PublishMetrics(tr)
+	var trace, metrics bytes.Buffer
+	if err := col.WriteJSONL(&trace); err != nil {
+		panic(err)
+	}
+	if err := col.WriteMetrics(&metrics); err != nil {
+		panic(err)
+	}
+	return []string{
+		fmt.Sprintf("reqs=%d written=%d read=%d dur=%d", res.Requests, res.BytesWritten, res.BytesRead, res.Duration),
+		fmt.Sprintf("lat=%v", res.Latency.Snapshot()),
+		dev.SMART().String(),
+		fmt.Sprintf("counters=%+v", dev.FTL().Counters()),
+		trace.String(),
+		metrics.String(),
+	}
+}
+
+// TestPrefilledCloneMatchesFresh is the tentpole correctness property: a
+// device cloned from a cached prefill snapshot must be observationally
+// byte-identical to one prefilled from scratch — identical latencies, SMART
+// counters, FTL counters, trace spans and metrics (including the trailing-GC
+// events the prefill leaves in flight). Checked for the baseline and for a
+// variant whose prefill schedules different background work.
+func TestPrefilledCloneMatchesFresh(t *testing.T) {
+	variants := []struct {
+		name string
+		mut  func(*ssd.Config)
+	}{
+		{"baseline", func(*ssd.Config) {}},
+		{"rand-greedy-gc", func(c *ssd.Config) {
+			c.FTL.GC = ftl.GCRandGreedy
+			c.FTL.GCSample = 2
+		}},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			fresh := fig3CellFingerprint(false, v.mut)
+			clone := fig3CellFingerprint(true, v.mut)
+			labels := []string{"result", "latencies", "smart", "counters", "trace", "metrics"}
+			for i := range fresh {
+				if fresh[i] != clone[i] {
+					t.Errorf("%s: clone diverged from fresh build\nfresh: %.400s\nclone: %.400s",
+						labels[i], fresh[i], clone[i])
+				}
+			}
+		})
+	}
+}
+
+// TestAgedFSCloneMatchesFresh checks the same property for the aged
+// file-system cache: a (device, fs) pair cloned from an aged image must
+// reproduce the fileserver score and device state of a from-scratch build.
+func TestAgedFSCloneMatchesFresh(t *testing.T) {
+	for _, kind := range []string{"extfs", "logfs"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			run := func(cache bool) []string {
+				SetSnapshotCache(cache)
+				defer SetSnapshotCache(true)
+				fs, dev := agedFS("S64", kind, fsim.AgeA, 42)
+				res := fsim.Fileserver(fs, dev.Engine(), 200, 142)
+				return []string{
+					fmt.Sprintf("ops=%v", res.OpsPerSecond()),
+					dev.SMART().String(),
+					fmt.Sprintf("counters=%+v", dev.FTL().Counters()),
+					fmt.Sprintf("files=%v used=%d", fs.Files(), fs.UsedBytes()),
+				}
+			}
+			fresh := run(false)
+			clone := run(true)
+			for i := range fresh {
+				if fresh[i] != clone[i] {
+					t.Errorf("clone diverged from fresh build:\nfresh: %.400s\nclone: %.400s", fresh[i], clone[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotCacheTableEquivalence asserts the end-to-end acceptance
+// property at the experiment level: whole result tables are byte-identical
+// with the cache on and off.
+func TestSnapshotCacheTableEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-experiment comparison")
+	}
+	run := func(cache bool) (string, string) {
+		SetSnapshotCache(cache)
+		defer SetSnapshotCache(true)
+		return Fig3TailLatency(Quick, 42).Table(), TabS7Personalities(Quick, 42).Table()
+	}
+	fig3Off, tabS7Off := run(false)
+	fig3On, tabS7On := run(true)
+	if fig3On != fig3Off {
+		t.Errorf("fig3 table differs with snapshot cache on:\n--- off ---\n%s--- on ---\n%s", fig3Off, fig3On)
+	}
+	if tabS7On != tabS7Off {
+		t.Errorf("tabS7 table differs with snapshot cache on:\n--- off ---\n%s--- on ---\n%s", tabS7Off, tabS7On)
+	}
+}

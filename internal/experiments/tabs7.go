@@ -80,15 +80,7 @@ func TabS7Personalities(scale Scale, seed int64) TabS7Result {
 				cells = append(cells, runner.Cell(
 					fmt.Sprintf("tabS7/%s/%s/%s", model, b.name, kind),
 					func() float64 {
-						dev := fig1Device(model, scale, seed)
-						disk := fsim.SSDDisk{Dev: dev}
-						var fs fsim.FS
-						if kind == "extfs" {
-							fs = fsim.NewExtFS(disk)
-						} else {
-							fs = fsim.NewLogFS(disk)
-						}
-						fsim.Age(fs, fsim.AgeA, seed)
+						fs, dev := agedFS(model, kind, fsim.AgeA, seed)
 						return b.run(fs, dev.Engine()).OpsPerSecond()
 					}))
 			}

@@ -1,0 +1,127 @@
+package fsim
+
+// File-system images (DESIGN.md §8). Aging a file system is the expensive
+// half of a Figure-1/Table-S7 cell; the in-memory state it produces (bitmaps,
+// inode tables, log heads, segment occupancy) is deterministic given the
+// profile and seed. Snapshot detaches that state from its disk as an FSImage;
+// Materialize stamps a fresh deep copy onto another disk — typically a device
+// restored from the matching ssd.DeviceState — so each cell pays for aging
+// once instead of once per trial.
+
+// FSImage is a detached, immutable deep copy of a file system's in-memory
+// state. It holds no disk reference and can be materialized any number of
+// times.
+type FSImage interface {
+	// Materialize binds a fresh deep copy of the image to disk and returns
+	// it as a live file system. The image itself is not aliased and stays
+	// valid for further materializations.
+	Materialize(disk Disk) FS
+}
+
+// deepCopy clones an ExtFS without its disk. extfs state is pointer-free
+// apart from the inode map, so a field-wise copy plus fresh containers
+// suffices.
+func (fs *ExtFS) deepCopy() *ExtFS {
+	cp := *fs
+	cp.disk = nil
+	cp.bitmap = append([]bool(nil), fs.bitmap...)
+	cp.files = make(map[string]*extInode, len(fs.files))
+	for n, ino := range fs.files {
+		c := *ino
+		c.extents = append([]extent(nil), ino.extents...)
+		cp.files[n] = &c
+	}
+	cp.dirBlocks = make(map[string]int64, len(fs.dirBlocks))
+	for k, v := range fs.dirBlocks {
+		cp.dirBlocks[k] = v
+	}
+	return &cp
+}
+
+type extImage struct {
+	fs *ExtFS // diskless deep copy, never mutated
+}
+
+// Snapshot captures the file system as an FSImage.
+func (fs *ExtFS) Snapshot() FSImage {
+	return extImage{fs: fs.deepCopy()}
+}
+
+// Materialize implements FSImage.
+func (img extImage) Materialize(disk Disk) FS {
+	cp := img.fs.deepCopy()
+	cp.disk = disk
+	return cp
+}
+
+// deepCopy clones a LogFS without its disk. logfs state is a pointer web —
+// files, directory nodes, the block-owner table and the dirty-node set all
+// reference the same logInode objects — so the copy remaps every pointer
+// through one table to preserve the aliasing exactly.
+func (fs *LogFS) deepCopy() *LogFS {
+	if fs.cleaning {
+		panic("fsim: logfs snapshot taken mid-clean")
+	}
+	cp := *fs
+	cp.disk = nil
+	cp.freeSegs = append([]int64(nil), fs.freeSegs...)
+	cp.liveCount = append([]int32(nil), fs.liveCount...)
+	cp.segType = append([]uint8(nil), fs.segType...)
+
+	remap := make(map[*logInode]*logInode, len(fs.files)+len(fs.dirNodes))
+	dup := func(ino *logInode) *logInode {
+		if ino == nil {
+			return nil
+		}
+		if c, ok := remap[ino]; ok {
+			return c
+		}
+		c := &logInode{
+			name:   ino.name,
+			size:   ino.size,
+			blocks: append([]int64(nil), ino.blocks...),
+		}
+		remap[ino] = c
+		return c
+	}
+	cp.files = make(map[string]*logInode, len(fs.files))
+	for n, ino := range fs.files {
+		cp.files[n] = dup(ino)
+	}
+	cp.dirNodes = make(map[string]*logInode, len(fs.dirNodes))
+	for n, ino := range fs.dirNodes {
+		cp.dirNodes[n] = dup(ino)
+	}
+	cp.owner = make(map[int64]struct {
+		ino *logInode
+		fb  int64
+	}, len(fs.owner))
+	for b, o := range fs.owner {
+		cp.owner[b] = struct {
+			ino *logInode
+			fb  int64
+		}{dup(o.ino), o.fb}
+	}
+	cp.dirtyNodes = make(map[*logInode]bool, len(fs.dirtyNodes))
+	for ino, d := range fs.dirtyNodes {
+		cp.dirtyNodes[dup(ino)] = d
+	}
+	return &cp
+}
+
+type logImage struct {
+	fs *LogFS // diskless deep copy, never mutated
+}
+
+// Snapshot captures the file system as an FSImage. The cleaner must not be
+// mid-run (it never is between FS calls).
+func (fs *LogFS) Snapshot() FSImage {
+	return logImage{fs: fs.deepCopy()}
+}
+
+// Materialize implements FSImage.
+func (img logImage) Materialize(disk Disk) FS {
+	cp := img.fs.deepCopy()
+	cp.disk = disk
+	return cp
+}

@@ -1,0 +1,94 @@
+package fsim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// driveAfterClone runs a deterministic post-materialization op mix — the kind
+// of traffic a benchmark would issue — and returns a behavior fingerprint.
+func driveAfterClone(t *testing.T, fs FS, disk *MemDisk) []string {
+	t.Helper()
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("post/f%03d", i)
+		if err := fs.Create(name); err != nil {
+			t.Fatalf("Create(%s): %v", name, err)
+		}
+		if err := fs.Write(name, 0, int64(4096*(1+i%7))); err != nil {
+			t.Fatalf("Write(%s): %v", name, err)
+		}
+		if i%3 == 0 {
+			if err := fs.Append(name, 8192); err != nil {
+				t.Fatalf("Append(%s): %v", name, err)
+			}
+		}
+	}
+	for i := 0; i < 40; i += 4 {
+		if err := fs.Delete(fmt.Sprintf("post/f%03d", i)); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	return []string{
+		fmt.Sprintf("files=%v", fs.Files()),
+		fmt.Sprintf("used=%d", fs.UsedBytes()),
+		fmt.Sprintf("disk=%+v", *disk),
+	}
+}
+
+// TestFSImageCloneEquivalence ages each file system, snapshots it, and checks
+// that (a) two materializations of one image behave identically under the
+// same traffic, and (b) materializing does not disturb the image or the
+// source.
+func TestFSImageCloneEquivalence(t *testing.T) {
+	const diskCap = 256 << 20
+	for _, kind := range []string{"extfs", "logfs"} {
+		t.Run(kind, func(t *testing.T) {
+			src := &MemDisk{Cap: diskCap}
+			var fs FS
+			var snap func() FSImage
+			switch kind {
+			case "extfs":
+				e := NewExtFS(src)
+				fs, snap = e, e.Snapshot
+			case "logfs":
+				l := NewLogFS(src)
+				fs, snap = l, l.Snapshot
+			}
+			Age(fs, AgeA, 7)
+			img := snap()
+
+			agedFiles := fs.Files()
+			agedUsed := fs.UsedBytes()
+
+			d1 := &MemDisk{Cap: diskCap}
+			fp1 := driveAfterClone(t, img.Materialize(d1), d1)
+			d2 := &MemDisk{Cap: diskCap}
+			fp2 := driveAfterClone(t, img.Materialize(d2), d2)
+			if !reflect.DeepEqual(fp1, fp2) {
+				t.Fatalf("two materializations diverged:\n%v\nvs\n%v", fp1, fp2)
+			}
+
+			// The source and the image must be untouched by the clones' work.
+			if got := fs.Files(); !reflect.DeepEqual(got, agedFiles) {
+				t.Fatalf("source file set mutated by clone activity")
+			}
+			if got := fs.UsedBytes(); got != agedUsed {
+				t.Fatalf("source UsedBytes mutated: %d != %d", got, agedUsed)
+			}
+
+			// A clone must behave like the source under identical traffic.
+			srcFP := driveAfterClone(t, fs, src)
+			d3 := &MemDisk{Cap: diskCap}
+			cloneFP := driveAfterClone(t, img.Materialize(d3), d3)
+			// Disk counters differ (the source disk saw format+aging), so
+			// compare only the FS-visible lines.
+			if !reflect.DeepEqual(srcFP[:2], cloneFP[:2]) {
+				t.Fatalf("clone diverged from source:\n%v\nvs\n%v", cloneFP[:2], srcFP[:2])
+			}
+		})
+	}
+}

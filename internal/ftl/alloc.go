@@ -26,6 +26,7 @@ type puState struct {
 	full     []int32 // closed blocks in close order (FIFO GC order)
 
 	gcRunning bool
+	job       *gcJob    // in-progress victim collection (nil between victims)
 	waiters   []*pageOp // page ops awaiting a free block
 }
 

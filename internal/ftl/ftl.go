@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"ssdtp/internal/bitset"
 	"ssdtp/internal/nand"
 	"ssdtp/internal/obs"
 	"ssdtp/internal/sim"
@@ -64,11 +65,13 @@ type pageOp struct {
 // simulation engine: all methods must be called from engine context (or
 // before the engine runs), and all completions fire there.
 type FTL struct {
-	eng   *sim.Engine
-	flash Flash
-	cfg   Config
-	g     nand.Geometry
-	rng   *rand.Rand
+	eng    *sim.Engine
+	flash  Flash
+	tflash TrackedFlash // flash, when it supports snapshot-able ops; else nil
+	cfg    Config
+	g      nand.Geometry
+	rng    *rand.Rand
+	rngSrc *countingSource // rng's source; draw count replayed on Restore
 
 	secPerPage  int
 	pagesPerBlk int
@@ -118,11 +121,24 @@ type FTL struct {
 	idleStreak int
 
 	// Reliability management state.
-	refreshing map[int64]bool // ppn -> refresh in flight
-	badBlocks  map[int64]bool // global block -> retired
+	refreshing bitset.Set // by ppn: refresh in flight
+	badBlocks  bitset.Set // by global block: retired
 
 	// yieldedGC holds parked collection continuations (GCYield mode).
 	yieldedGC []func()
+
+	// Per-PU garbage-collection callbacks and tracked-op tags, built once at
+	// construction. Sharing one closure per (PU, role) keeps the steady-state
+	// GC loop allocation-free, and — because the callbacks read their
+	// position from pu.job rather than capturing it — Restore can re-attach
+	// the identical callback to a resumed in-flight op.
+	gcReadDones  []func(int, error)
+	gcEraseDones []func(error)
+	gcWriteDones []func()
+	gcReadConts  []func()
+	gcWriteConts []func()
+	gcReadTags   []any
+	gcEraseTags  []any
 
 	// opFree recycles pageOps (linked through pageOp.next); readScratch is
 	// the read path's reusable distinct-page list. Both exist so the
@@ -158,17 +174,20 @@ func New(eng *sim.Engine, flash Flash, cfg Config) *FTL {
 	if g != cfg.Geometry {
 		panic("ftl: flash geometry does not match config geometry")
 	}
+	src := &countingSource{src: rand.NewSource(cfg.Seed)}
 	f := &FTL{
 		eng:         eng,
 		flash:       flash,
 		cfg:         cfg,
 		g:           g,
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		rng:         rand.New(src),
+		rngSrc:      src,
 		secPerPage:  g.PageSize / cfg.SectorSize,
 		pagesPerBlk: g.PagesPerBlock,
 		blksPerPU:   g.BlocksPerPlane,
 		tr:          cfg.Trace,
 	}
+	f.tflash, _ = flash.(TrackedFlash)
 	f.dims = [4]int{
 		dimC: flash.Channels(),
 		dimW: flash.ChipsPerChannel(),
@@ -221,6 +240,24 @@ func New(eng *sim.Engine, flash Flash, cfg Config) *FTL {
 		}
 	}
 
+	f.gcReadDones = make([]func(int, error), f.numPU)
+	f.gcEraseDones = make([]func(error), f.numPU)
+	f.gcWriteDones = make([]func(), f.numPU)
+	f.gcReadConts = make([]func(), f.numPU)
+	f.gcWriteConts = make([]func(), f.numPU)
+	f.gcReadTags = make([]any, f.numPU)
+	f.gcEraseTags = make([]any, f.numPU)
+	for i := range f.pus {
+		pu := &f.pus[i]
+		f.gcReadDones[i] = func(int, error) { pu.job.next++; f.gcReadNext(pu) }
+		f.gcEraseDones[i] = func(err error) { f.gcEraseDone(pu, err) }
+		f.gcWriteDones[i] = func() { pu.job.next++; f.gcWriteNext(pu) }
+		f.gcReadConts[i] = func() { f.gcReadNext(pu) }
+		f.gcWriteConts[i] = func() { f.gcWriteNext(pu) }
+		f.gcReadTags[i] = gcReadTag{pu: i}
+		f.gcEraseTags[i] = gcEraseTag{pu: i}
+	}
+
 	switch cfg.Cache {
 	case CacheData:
 		f.cache = newWriteCache(cfg.CacheBytes, cfg.SectorSize)
@@ -271,12 +308,16 @@ func (f *FTL) MapEntry(lsn int64) int64 {
 // PSLCResident returns how many logical sectors are indexed as pSLC-resident.
 func (f *FTL) PSLCResident() int { return len(f.pslcIndex) }
 
-// PSLCSnapshot copies the pSLC residency index (lsn -> psn) into dst
-// (allocated if nil) and returns it. The firmware package materializes the
-// 840 EVO's hashed pSLC index from this.
+// PSLCSnapshot copies the pSLC residency index (lsn -> psn) into dst and
+// returns it; a nil dst is allocated, a non-nil dst is cleared first so the
+// result is exactly the current index (stale keys from a previous call do
+// not survive). The firmware package materializes the 840 EVO's hashed pSLC
+// index from this.
 func (f *FTL) PSLCSnapshot(dst map[int64]int64) map[int64]int64 {
 	if dst == nil {
 		dst = make(map[int64]int64, len(f.pslcIndex))
+	} else {
+		clear(dst)
 	}
 	for k, v := range f.pslcIndex {
 		dst[k] = v

@@ -149,110 +149,160 @@ func (f *FTL) pickVictim(pu *puState) int {
 	}
 }
 
+// gcMove is one live sector awaiting relocation.
+type gcMove struct{ lsn, psn int64 }
+
+// Collection phases of a gcJob.
+const (
+	jobReading uint8 = iota // relocation reads chaining through readPages
+	jobWriting              // relocation programs chaining through output pages
+	jobErasing              // victim erase in flight
+)
+
+// gcJob is the reified state of one victim collection — what used to live in
+// the collectBlock closure chain. Reification is what makes trailing GC
+// snapshot-visible: a drive image captured with a collection mid-read or
+// mid-erase records the job (plus its one in-flight tracked flash op) and
+// resumes it exactly. At most one job runs per PU (pu.job).
+type gcJob struct {
+	victim    int32
+	moves     []gcMove
+	readPages []int // victim pages holding any live sector
+	nPages    int   // relocation output pages
+	phase     uint8
+	// next is the current readPages index (jobReading) or output page
+	// (jobWriting). It advances in the op's completion callback, so at
+	// snapshot time it names the in-flight element.
+	next int
+	sp   obs.Span
+}
+
 // collectBlock relocates the victim's live sectors and erases it. Reads,
 // relocation programs and the erase all contend with host traffic on the
 // PU's channel and die — this contention is the tail-latency mechanism of
 // the paper's Figure 3.
 func (f *FTL) collectBlock(pu *puState, victim int32) {
-	type live struct{ lsn, psn int64 }
-	var moves []live
-	var readPages []int
+	job := &gcJob{victim: victim}
 	blockBase := f.ppnOf(pu.index, victim, 0) * int64(f.secPerPage)
 	for p := 0; p < f.pagesPerBlk; p++ {
 		pageLive := false
 		for s := 0; s < f.secPerPage; s++ {
 			psn := blockBase + int64(p*f.secPerPage+s)
 			if lsn := f.p2l[psn]; lsn >= 0 {
-				moves = append(moves, live{lsn: lsn, psn: psn})
+				job.moves = append(job.moves, gcMove{lsn: lsn, psn: psn})
 				pageLive = true
 			}
 		}
 		if pageLive {
-			readPages = append(readPages, p)
+			job.readPages = append(job.readPages, p)
 		}
 	}
+	job.nPages = (len(job.moves) + f.secPerPage - 1) / f.secPerPage
 
 	// One span covers the whole victim: relocation reads, relocation
 	// programs, and the erase. Its duration is exactly the background burst
 	// Figure 3's tail requests collide with.
-	var sp obs.Span
 	if f.tr.Enabled() {
-		sp = f.tr.Begin("ftl.gc",
+		job.sp = f.tr.Begin("ftl.gc",
 			obs.Int("pu", int64(pu.index)),
 			obs.Int("block", int64(victim)),
-			obs.Int("live", int64(len(moves))))
+			obs.Int("live", int64(len(job.moves))))
 	}
 
-	eraseVictim := func() {
-		addr := nand.Addr{Die: pu.die, Plane: pu.plane, Block: int(victim)}
-		f.flash.Erase(pu.ch, pu.chip, addr, f.cfg.GCSuspend, func(err error) {
-			if err != nil {
-				// Worn out: retire instead of freeing (its live data was
-				// already relocated above).
-				sp.End(obs.Str("result", "retired"))
-				f.retireBlock(pu, victim)
-			} else {
-				sp.End(obs.Str("result", "erased"))
-				f.counters.Erases++
-				f.blockErases[f.globalBlock(pu.index, victim)]++
-				pu.free = append(pu.free, victim)
-			}
-			f.drainPUWaiters(pu)
-			f.gcStep(pu)
-			f.pumpDrain()
-		})
-	}
-
-	// Relocation output pages issue strictly one at a time so host
-	// operations interleave on the die between them — the preemptible-GC
-	// discipline (Lee et al., cited in §1) every modern FTL approximates.
-	// A non-preemptible burst of a block's worth of programs would stall
-	// foreground I/O for hundreds of milliseconds.
-	nPages := (len(moves) + f.secPerPage - 1) / f.secPerPage
-	var writeNext func(p int)
-	writeNext = func(p int) {
-		if p == nPages {
-			eraseVictim()
-			return
-		}
-		if f.gcYieldPoint(pu, func() { writeNext(p) }) {
-			return
-		}
-		op := f.newPageOp(kindGC, pu.index)
-		lsns, old := op.lsnsBuf, op.oldBuf
-		for i := range lsns {
-			mi := p*f.secPerPage + i
-			if mi < len(moves) {
-				lsns[i] = moves[mi].lsn
-				old[i] = moves[mi].psn
-			} else {
-				lsns[i] = -1
-			}
-		}
-		op.lsns, op.old = lsns, old
-		op.done = func() { writeNext(p + 1) }
-		f.submitPage(op)
-	}
-
-	// Reads likewise chain one at a time.
-	var readNext func(i int)
-	readNext = func(i int) {
-		if i == len(readPages) {
-			writeNext(0)
-			return
-		}
-		if f.gcYieldPoint(pu, func() { readNext(i) }) {
-			return
-		}
-		addr := nand.Addr{Die: pu.die, Plane: pu.plane, Block: int(victim), Page: readPages[i]}
-		f.counters.GCPageReads++
-		f.flash.Read(pu.ch, pu.chip, addr, false, func(int, error) {
-			readNext(i + 1)
-		})
-	}
-	if len(readPages) == 0 {
-		writeNext(0)
+	pu.job = job
+	if len(job.readPages) == 0 {
+		job.phase = jobWriting
+		f.gcWriteNext(pu)
 		return
 	}
-	readNext(0)
+	job.phase = jobReading
+	f.gcReadNext(pu)
+}
+
+// gcReadNext issues the relocation read at job.next, or moves on to the
+// write phase when the reads are done. Reads chain strictly one at a time —
+// job.next advances in the completion callback (gcConts) — so host
+// operations interleave on the die between them.
+func (f *FTL) gcReadNext(pu *puState) {
+	job := pu.job
+	if job.next == len(job.readPages) {
+		job.phase = jobWriting
+		job.next = 0
+		f.gcWriteNext(pu)
+		return
+	}
+	if f.gcYieldPoint(pu, f.gcReadConts[pu.index]) {
+		return
+	}
+	addr := nand.Addr{Die: pu.die, Plane: pu.plane, Block: int(job.victim), Page: job.readPages[job.next]}
+	f.counters.GCPageReads++
+	if f.tflash != nil {
+		f.tflash.ReadTracked(pu.ch, pu.chip, addr, f.gcReadTags[pu.index], f.gcReadDones[pu.index])
+	} else {
+		f.flash.Read(pu.ch, pu.chip, addr, false, f.gcReadDones[pu.index])
+	}
+}
+
+// gcWriteNext submits the relocation program for output page job.next, or
+// erases the victim once all pages are out. Relocation output pages issue
+// strictly one at a time so host operations interleave on the die between
+// them — the preemptible-GC discipline (Lee et al., cited in §1) every
+// modern FTL approximates. A non-preemptible burst of a block's worth of
+// programs would stall foreground I/O for hundreds of milliseconds.
+func (f *FTL) gcWriteNext(pu *puState) {
+	job := pu.job
+	if job.next == job.nPages {
+		f.gcEraseVictim(pu)
+		return
+	}
+	if f.gcYieldPoint(pu, f.gcWriteConts[pu.index]) {
+		return
+	}
+	op := f.newPageOp(kindGC, pu.index)
+	lsns, old := op.lsnsBuf, op.oldBuf
+	for i := range lsns {
+		mi := job.next*f.secPerPage + i
+		if mi < len(job.moves) {
+			lsns[i] = job.moves[mi].lsn
+			old[i] = job.moves[mi].psn
+		} else {
+			lsns[i] = -1
+		}
+	}
+	op.lsns, op.old = lsns, old
+	op.done = f.gcWriteDones[pu.index]
+	f.submitPage(op)
+}
+
+// gcEraseVictim issues the victim erase.
+func (f *FTL) gcEraseVictim(pu *puState) {
+	job := pu.job
+	job.phase = jobErasing
+	addr := nand.Addr{Die: pu.die, Plane: pu.plane, Block: int(job.victim)}
+	if f.tflash != nil {
+		f.tflash.EraseTracked(pu.ch, pu.chip, addr, f.cfg.GCSuspend, f.gcEraseTags[pu.index], f.gcEraseDones[pu.index])
+	} else {
+		f.flash.Erase(pu.ch, pu.chip, addr, f.cfg.GCSuspend, f.gcEraseDones[pu.index])
+	}
+}
+
+// gcEraseDone retires or frees the erased victim and re-evaluates the
+// collection loop.
+func (f *FTL) gcEraseDone(pu *puState, err error) {
+	job := pu.job
+	pu.job = nil
+	if err != nil {
+		// Worn out: retire instead of freeing (its live data was already
+		// relocated above).
+		job.sp.End(obs.Str("result", "retired"))
+		f.retireBlock(pu, job.victim)
+	} else {
+		job.sp.End(obs.Str("result", "erased"))
+		f.counters.Erases++
+		f.blockErases[f.globalBlock(pu.index, job.victim)]++
+		pu.free = append(pu.free, job.victim)
+	}
+	f.drainPUWaiters(pu)
+	f.gcStep(pu)
+	f.pumpDrain()
 }

@@ -1,0 +1,30 @@
+package ftl
+
+import "testing"
+
+// TestPSLCSnapshotReusesDst pins PSLCSnapshot's destination contract: a
+// non-nil dst is cleared and refilled in place (no allocation), a nil dst
+// allocates, and the source index is copied, not aliased.
+func TestPSLCSnapshotReusesDst(t *testing.T) {
+	f := &FTL{pslcIndex: map[int64]int64{1: 10, 2: 20}}
+
+	dst := map[int64]int64{99: 1, 1: -5}
+	got := f.PSLCSnapshot(dst)
+	got[12345] = 1
+	if _, ok := dst[12345]; !ok {
+		t.Fatal("PSLCSnapshot did not reuse the provided dst map")
+	}
+	delete(got, 12345)
+	if len(got) != 2 || got[1] != 10 || got[2] != 20 {
+		t.Fatalf("PSLCSnapshot(dst) = %v, want stale entries cleared and {1:10 2:20}", got)
+	}
+
+	fresh := f.PSLCSnapshot(nil)
+	if len(fresh) != 2 || fresh[1] != 10 || fresh[2] != 20 {
+		t.Fatalf("PSLCSnapshot(nil) = %v, want {1:10 2:20}", fresh)
+	}
+	fresh[1] = 777
+	if f.pslcIndex[1] != 10 {
+		t.Fatal("PSLCSnapshot aliased the live index")
+	}
+}

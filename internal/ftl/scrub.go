@@ -34,10 +34,7 @@ func (f *FTL) applyReadHealth(ppn int64, bits int) {
 // refreshPage relocates the live sectors of one physical page (the
 // correct-and-refresh operation). Idempotent per in-flight page.
 func (f *FTL) refreshPage(ppn int64) {
-	if f.refreshing == nil {
-		f.refreshing = make(map[int64]bool)
-	}
-	if f.refreshing[ppn] {
+	if f.refreshing.Get(ppn) {
 		return
 	}
 	base := ppn * int64(f.secPerPage)
@@ -58,13 +55,13 @@ func (f *FTL) refreshPage(ppn int64) {
 		f.releaseOp(op)
 		return // nothing live; GC will reclaim the block eventually
 	}
-	f.refreshing[ppn] = true
+	f.refreshing.Set(ppn)
 	if f.tr.Enabled() {
 		f.tr.Emit("ftl.refresh", obs.Int("ppn", ppn), obs.Int("live", int64(live)))
 	}
 	op.lsns, op.old, op.pu = lsns, old, f.nextPU()
 	op.done = func() {
-		delete(f.refreshing, ppn)
+		f.refreshing.Clear(ppn)
 	}
 	f.submitPage(op)
 }
@@ -112,15 +109,20 @@ func (f *FTL) scrubTick() {
 		p := &f.pus[pu]
 		addr := nand.Addr{Die: p.die, Plane: p.plane, Block: int(blk), Page: page}
 		f.counters.ScrubReads++
-		f.flash.Read(p.ch, p.chip, addr, false, func(bits int, err error) {
+		done := func(bits int, _ error) {
 			f.applyReadHealth(ppn, bits)
-		})
+		}
+		if f.tflash != nil {
+			f.tflash.ReadTracked(p.ch, p.chip, addr, scrubTag{ppn: ppn}, done)
+		} else {
+			f.flash.Read(p.ch, p.chip, addr, false, done)
+		}
 	}
 }
 
 // blockBad reports whether the block has been retired.
 func (f *FTL) blockBad(gb int64) bool {
-	return f.badBlocks != nil && f.badBlocks[gb]
+	return f.badBlocks.Get(gb)
 }
 
 // retireBlock marks a block grown-bad after a program or erase failure: its
@@ -128,13 +130,10 @@ func (f *FTL) blockBad(gb int64) bool {
 // pool.
 func (f *FTL) retireBlock(pu *puState, blk int32) {
 	gb := f.globalBlock(pu.index, blk)
-	if f.badBlocks == nil {
-		f.badBlocks = make(map[int64]bool)
-	}
-	if f.badBlocks[gb] {
+	if f.badBlocks.Get(gb) {
 		return
 	}
-	f.badBlocks[gb] = true
+	f.badBlocks.Set(gb)
 	f.counters.GrownBadBlocks++
 	if f.tr.Enabled() {
 		f.tr.Emit("ftl.block.retire",

@@ -1,0 +1,53 @@
+package ftl
+
+import (
+	"math/rand"
+
+	"ssdtp/internal/nand"
+	"ssdtp/internal/onfi"
+)
+
+// TrackedFlash is a Flash whose background reads and erases can be issued
+// with snapshot-visible lifecycles (ssd.Array implements it by forwarding to
+// the onfi buses). The FTL routes its GC victim reads, GC/wear-level erases,
+// and scrub patrol reads through the tracked entry points when available, so
+// a drive image captured with trailing collection still in the pipe records
+// those in-flight ops and Restore resumes them mid-operation. Plain Flash
+// implementations (test fakes) fall back to the untracked calls and simply
+// cannot be snapshotted mid-collection.
+type TrackedFlash interface {
+	Flash
+	ReadTracked(ch, chip int, a nand.Addr, tag any, done func(bitErrors int, err error))
+	EraseTracked(ch, chip int, a nand.Addr, background bool, tag any, done func(error))
+	SnapshotOps() []onfi.OpState
+	ResumeOp(st onfi.OpState, readDone func(bitErrors int, err error), eraseDone func(error))
+}
+
+// Tags the FTL attaches to its tracked ops. A tag is the op's identity
+// across snapshot/restore: Restore routes each captured op back to its
+// completion logic by the tag alone (the callbacks themselves are per-PU
+// singletons that read their position from pu.job, or — for scrub — are
+// rebuilt from the tagged ppn).
+type (
+	gcReadTag  struct{ pu int }
+	gcEraseTag struct{ pu int }
+	scrubTag   struct{ ppn int64 }
+)
+
+// countingSource wraps the FTL's deterministic rand source and counts draws,
+// so a snapshot records the stream position and Restore replays it (re-seed
+// plus n draws). It deliberately implements only rand.Source — not
+// rand.Source64 — which pins rand.Rand to the Int63-based derivation paths;
+// the values are identical to an unwrapped source's, and every draw funnels
+// through exactly one Int63 call.
+type countingSource struct {
+	src rand.Source
+	n   uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Seed(seed int64) { s.src.Seed(seed) }

@@ -3,6 +3,8 @@ package nand
 import (
 	"errors"
 	"fmt"
+
+	"ssdtp/internal/bitset"
 )
 
 // Common flash-semantics errors.
@@ -62,9 +64,9 @@ type Chip struct {
 	erases     []int       // per block
 	reads      []int       // per block: reads since last erase (read disturb)
 	birth      []int64     // per page: program time (reliability model)
-	data       map[int64][]byte
+	data       *pageStore  // nil unless StoreData
 	stats      Stats
-	factoryBad map[int64]bool
+	factoryBad bitset.Set // by block index
 }
 
 // NewChip returns an all-erased chip. It panics on invalid geometry: chip
@@ -79,19 +81,18 @@ func NewChip(cfg ChipConfig) *Chip {
 		panic("nand: Reliability requires a Clock")
 	}
 	c := &Chip{
-		cfg:        cfg,
-		geom:       g,
-		state:      make([]PageState, g.Pages()),
-		cursor:     make([]int, g.Blocks()),
-		erases:     make([]int, g.Blocks()),
-		reads:      make([]int, g.Blocks()),
-		factoryBad: make(map[int64]bool),
+		cfg:    cfg,
+		geom:   g,
+		state:  make([]PageState, g.Pages()),
+		cursor: make([]int, g.Blocks()),
+		erases: make([]int, g.Blocks()),
+		reads:  make([]int, g.Blocks()),
 	}
 	if cfg.Reliability.Enabled() {
 		c.birth = make([]int64, g.Pages())
 	}
 	if cfg.StoreData {
-		c.data = make(map[int64][]byte)
+		c.data = newPageStore(g.PageSize, g.Pages())
 	}
 	return c
 }
@@ -101,7 +102,7 @@ func NewChip(cfg ChipConfig) *Chip {
 func (c *Chip) MarkFactoryBad(a Addr) {
 	a.Page = 0
 	if c.geom.Contains(a) {
-		c.factoryBad[c.geom.BlockIndex(a)] = true
+		c.factoryBad.Set(c.geom.BlockIndex(a))
 	}
 }
 
@@ -165,7 +166,7 @@ func (c *Chip) Program(a Addr, data []byte) error {
 		return fmt.Errorf("%w: %v", ErrOverwrite, a)
 	}
 	blk := c.geom.BlockIndex(a)
-	if c.factoryBad[blk] {
+	if c.factoryBad.Get(blk) {
 		return fmt.Errorf("%w: %v (factory bad block)", ErrWornOut, a)
 	}
 	if a.Page != c.cursor[blk] {
@@ -177,9 +178,7 @@ func (c *Chip) Program(a Addr, data []byte) error {
 		c.birth[idx] = c.cfg.Clock()
 	}
 	if c.data != nil && data != nil {
-		buf := make([]byte, len(data))
-		copy(buf, data)
-		c.data[idx] = buf
+		c.data.put(idx, data)
 	}
 	c.stats.Programs++
 	return nil
@@ -201,8 +200,8 @@ func (c *Chip) Read(a Addr, buf []byte) error {
 			for i := range buf {
 				buf[i] = 0xFF
 			}
-		} else if d, ok := c.data[idx]; ok {
-			copy(buf, d)
+		} else if c.data != nil {
+			c.data.read(idx, buf)
 		} else {
 			for i := range buf {
 				buf[i] = 0
@@ -221,7 +220,7 @@ func (c *Chip) Erase(a Addr) error {
 		return fmt.Errorf("%w: %v", ErrOutOfRange, a)
 	}
 	blk := c.geom.BlockIndex(a)
-	if c.factoryBad[blk] {
+	if c.factoryBad.Get(blk) {
 		return fmt.Errorf("%w: %v (factory bad block)", ErrWornOut, a)
 	}
 	if c.cfg.WearLimit > 0 && c.erases[blk] >= c.cfg.WearLimit {
@@ -229,11 +228,10 @@ func (c *Chip) Erase(a Addr) error {
 	}
 	base := c.geom.PageIndex(a)
 	for p := 0; p < c.geom.PagesPerBlock; p++ {
-		idx := base + int64(p)
-		c.state[idx] = PageErased
-		if c.data != nil {
-			delete(c.data, idx)
-		}
+		c.state[base+int64(p)] = PageErased
+	}
+	if c.data != nil {
+		c.data.zeroRange(base, int64(c.geom.PagesPerBlock))
 	}
 	c.cursor[blk] = 0
 	c.erases[blk]++

@@ -1,0 +1,67 @@
+package nand
+
+import "ssdtp/internal/bitset"
+
+// ChipState is an opaque deep copy of a Chip's mutable state: page states,
+// program cursors, erase/read-disturb counters, program-time birth stamps,
+// stored payloads, operation statistics, and factory-bad marks. It captures
+// everything Restore needs to make another identically configured chip
+// observationally indistinguishable from the snapshotted one.
+type ChipState struct {
+	geom       Geometry
+	state      []PageState
+	cursor     []int
+	erases     []int
+	reads      []int
+	birth      []int64
+	data       *pageStore
+	stats      Stats
+	factoryBad bitset.Set
+}
+
+// Snapshot returns a deep copy of the chip's mutable state. The chip's
+// configuration (geometry, reliability model, wear limit) is not captured:
+// Restore requires an identically configured chip and panics otherwise.
+func (c *Chip) Snapshot() *ChipState {
+	s := &ChipState{
+		geom:       c.geom,
+		state:      append([]PageState(nil), c.state...),
+		cursor:     append([]int(nil), c.cursor...),
+		erases:     append([]int(nil), c.erases...),
+		reads:      append([]int(nil), c.reads...),
+		stats:      c.stats,
+		factoryBad: c.factoryBad.Clone(),
+	}
+	if c.birth != nil {
+		s.birth = append([]int64(nil), c.birth...)
+	}
+	if c.data != nil {
+		s.data = c.data.clone()
+	}
+	return s
+}
+
+// Restore overwrites the chip's mutable state with a snapshot, copying into
+// the chip's existing slices so repeated restores allocate only for payload
+// chunks absent from the target. Panics on geometry or configuration
+// mismatch (birth/data presence must agree — those depend only on config).
+func (c *Chip) Restore(s *ChipState) {
+	if c.geom != s.geom {
+		panic("nand: Restore geometry mismatch")
+	}
+	if (c.birth != nil) != (s.birth != nil) || (c.data != nil) != (s.data != nil) {
+		panic("nand: Restore config mismatch (Reliability/StoreData)")
+	}
+	copy(c.state, s.state)
+	copy(c.cursor, s.cursor)
+	copy(c.erases, s.erases)
+	copy(c.reads, s.reads)
+	if c.birth != nil {
+		copy(c.birth, s.birth)
+	}
+	if c.data != nil {
+		c.data.copyFrom(s.data)
+	}
+	c.stats = s.stats
+	c.factoryBad.CopyFrom(&s.factoryBad)
+}

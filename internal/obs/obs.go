@@ -135,6 +135,26 @@ func (t *Tracer) BindEngine(eng *sim.Engine) {
 	}
 }
 
+// EventsFired returns the engine events observed so far via the BindEngine
+// hook (0 for a nil tracer).
+func (t *Tracer) EventsFired() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.eventsFired
+}
+
+// AddEventsFired credits n engine events to the tracer's fired counter. The
+// snapshot cache uses it to make a restored clone report the same
+// ssdtp_sim_events_fired_total a from-scratch build would: the clone's engine
+// never fires the preconditioning events, so the count captured during the
+// cached build is added back here. No-op on a nil tracer.
+func (t *Tracer) AddEventsFired(n int64) {
+	if t != nil {
+		t.eventsFired += n
+	}
+}
+
 // now returns the simulated time, or 0 before any engine is bound.
 func (t *Tracer) now() sim.Time {
 	if t.clock == nil {

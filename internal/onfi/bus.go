@@ -34,6 +34,10 @@ type Bus struct {
 	obs         []observerReg
 	nextObsID   int
 	stats       BusStats
+	// ops are the in-flight tracked operations (see tracked.go); qseq
+	// orders their resource-queue entries for snapshot/restore.
+	ops  []*busOp
+	qseq uint64
 }
 
 // SuspendOverhead is the array-time cost of suspending an in-progress

@@ -1,0 +1,407 @@
+package onfi
+
+import (
+	"fmt"
+
+	"ssdtp/internal/nand"
+	"ssdtp/internal/sim"
+)
+
+// Tracked operations are reads and erases whose in-flight lifecycle the bus
+// can externalize for snapshot/restore (DESIGN.md §8). The FTL issues its
+// background work — GC victim reads, GC/wear-level erases, scrub reads —
+// through ReadTracked/EraseTracked so that a drive image captured with
+// trailing GC still in the pipe can be restored mid-operation.
+//
+// A tracked op is a hand-written state machine whose phases mirror the
+// closure chains of Read/ReadEx and Erase/EraseBG *exactly*: every
+// Resource.Acquire, engine Schedule, observer emit, and stats increment
+// happens at the same simulated instant and in the same order as the
+// untracked path, so the two are bit-identical to the whole simulation
+// (pinned by TestTrackedMirrorsUntracked). The only additions are inert
+// bookkeeping: a registry slot, a queue sequence number, and the pending
+// event handle.
+
+// OpKind is the type of a tracked operation.
+type OpKind uint8
+
+// Tracked operation kinds.
+const (
+	OpRead OpKind = iota
+	OpErase
+)
+
+// OpPhase identifies where in its lifecycle a tracked op is. Queue phases
+// wait on a sim.Resource (no pending event); event phases own exactly one
+// pending engine event.
+type OpPhase uint8
+
+// Tracked operation phases, in lifecycle order.
+const (
+	OpDieQueue   OpPhase = iota // waiting for the die
+	OpWireQueue1                // die held, waiting for wires (cmd+addr cycles)
+	OpCmd                       // wires held, cmd+addr cycles on the bus
+	OpArray                     // array busy (tR / tBERS), bus free
+	OpWireQueue2                // array done, waiting for wires (data out; reads only)
+	OpXfer                      // wires held, data-out transfer (reads only)
+)
+
+func (p OpPhase) queued() bool {
+	return p == OpDieQueue || p == OpWireQueue1 || p == OpWireQueue2
+}
+
+// busOp is the live state of one tracked operation.
+type busOp struct {
+	b           *Bus
+	kind        OpKind
+	chip        int
+	addr        nand.Addr
+	phase       OpPhase
+	bits        int   // read: bit errors, computed at issue (mirrors ReadEx)
+	err         error // commit error, set at the array-done phase
+	suspendable bool  // erase: issued background (erase-suspend armed)
+	qseq        uint64
+	ev          sim.Event
+	tag         any
+	idx         int // slot in Bus.ops
+	readDone    func(bitErrors int, err error)
+	eraseDone   func(error)
+}
+
+func (b *Bus) nextQSeq() uint64 {
+	b.qseq++
+	return b.qseq
+}
+
+func (b *Bus) registerOp(op *busOp) {
+	op.idx = len(b.ops)
+	b.ops = append(b.ops, op)
+}
+
+func (b *Bus) removeOp(op *busOp) {
+	last := len(b.ops) - 1
+	if op.idx != last {
+		moved := b.ops[last]
+		b.ops[op.idx] = moved
+		moved.idx = op.idx
+	}
+	b.ops[last] = nil
+	b.ops = b.ops[:last]
+}
+
+// ReadTracked is ReadEx with a nil payload buffer and a snapshot-visible
+// lifecycle. tag is opaque to the bus; the FTL uses it to re-derive the
+// completion callback when resuming a captured op.
+func (b *Bus) ReadTracked(chip int, addr nand.Addr, tag any, done func(bitErrors int, err error)) {
+	c := b.checkChip(chip)
+	op := &busOp{b: b, kind: OpRead, chip: chip, addr: addr, tag: tag, readDone: done}
+	op.bits = c.BitErrors(addr)
+	b.registerOp(op)
+	op.phase = OpDieQueue
+	op.qseq = b.nextQSeq()
+	b.dies[chip][addr.Die].Acquire(op.readDieGranted)
+}
+
+func (op *busOp) readDieGranted() {
+	op.phase = OpWireQueue1
+	op.qseq = op.b.nextQSeq()
+	op.b.wires.Acquire(op.readWiresGranted)
+}
+
+func (op *busOp) readWiresGranted() {
+	b := op.b
+	g := b.chips[op.chip].Geometry()
+	die := op.addr.Die
+	dur := b.emitCmdAddrAt(op.chip, die, CmdReadSetup, true, g.RowAddress(op.addr), 0)
+	if b.observed() {
+		b.emit(BusEvent{Time: b.eng.Now() + dur, Bus: b.id, Chip: op.chip, Die: die, Kind: EventCmd, Byte: CmdReadConfirm})
+	}
+	dur += b.timing.CmdCycle
+	b.stats.CmdCycles++
+	op.phase = OpCmd
+	op.ev = b.eng.Schedule(dur, op.readCmdDone)
+}
+
+func (op *busOp) readCmdDone() {
+	b := op.b
+	if b.observed() {
+		b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: op.chip, Die: op.addr.Die, Kind: EventBusy})
+	}
+	b.wires.Release()
+	op.phase = OpArray
+	op.ev = b.eng.Schedule(b.timing.ReadPage, op.readArrayDone)
+}
+
+func (op *busOp) readArrayDone() {
+	b := op.b
+	op.err = b.chips[op.chip].Read(op.addr, nil)
+	if b.observed() {
+		b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: op.chip, Die: op.addr.Die, Kind: EventReady})
+	}
+	op.phase = OpWireQueue2
+	op.qseq = b.nextQSeq()
+	b.wires.Acquire(op.readXferGranted)
+}
+
+func (op *busOp) readXferGranted() {
+	b := op.b
+	n := b.chips[op.chip].Geometry().PageSize
+	xfer := b.timing.TransferTime(n)
+	if b.observed() {
+		b.emit(BusEvent{Time: b.eng.Now(), Dur: xfer, Bus: b.id, Chip: op.chip, Die: op.addr.Die, Kind: EventDataOut, Len: n})
+	}
+	b.stats.BytesOut += int64(n)
+	b.stats.Reads++
+	op.phase = OpXfer
+	op.ev = b.eng.Schedule(xfer, op.readXferDone)
+}
+
+func (op *busOp) readXferDone() {
+	b := op.b
+	b.wires.Release()
+	b.dies[op.chip][op.addr.Die].Release()
+	b.removeOp(op)
+	op.ev = sim.Event{}
+	if op.readDone != nil {
+		op.readDone(op.bits, op.err)
+	}
+}
+
+// EraseTracked is Erase (or, with background set, EraseBG) with a
+// snapshot-visible lifecycle.
+func (b *Bus) EraseTracked(chip int, addr nand.Addr, background bool, tag any, done func(error)) {
+	b.checkChip(chip)
+	op := &busOp{b: b, kind: OpErase, chip: chip, addr: addr, suspendable: background, tag: tag, eraseDone: done}
+	if background {
+		b.markSuspendable(chip, addr.Die, true)
+	}
+	b.registerOp(op)
+	op.phase = OpDieQueue
+	op.qseq = b.nextQSeq()
+	b.dies[chip][addr.Die].Acquire(op.eraseDieGranted)
+}
+
+func (op *busOp) eraseDieGranted() {
+	op.phase = OpWireQueue1
+	op.qseq = op.b.nextQSeq()
+	op.b.wires.Acquire(op.eraseWiresGranted)
+}
+
+func (op *busOp) eraseWiresGranted() {
+	b := op.b
+	g := b.chips[op.chip].Geometry()
+	die := op.addr.Die
+	dur := b.emitCmdAddrAt(op.chip, die, CmdEraseSetup, false, g.RowAddress(op.addr), 0)
+	if b.observed() {
+		b.emit(BusEvent{Time: b.eng.Now() + dur, Bus: b.id, Chip: op.chip, Die: die, Kind: EventCmd, Byte: CmdEraseConfirm})
+	}
+	dur += b.timing.CmdCycle
+	b.stats.CmdCycles++
+	op.phase = OpCmd
+	op.ev = b.eng.Schedule(dur, op.eraseCmdDone)
+}
+
+func (op *busOp) eraseCmdDone() {
+	b := op.b
+	if b.observed() {
+		b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: op.chip, Die: op.addr.Die, Kind: EventBusy})
+	}
+	b.wires.Release()
+	op.phase = OpArray
+	op.ev = b.eng.Schedule(b.timing.EraseBlock, op.eraseArrayDone)
+}
+
+func (op *busOp) eraseArrayDone() {
+	b := op.b
+	die := op.addr.Die
+	op.err = b.chips[op.chip].Erase(op.addr)
+	b.stats.Erases++
+	if b.observed() {
+		b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: op.chip, Die: die, Kind: EventReady})
+	}
+	b.dies[op.chip][die].Release()
+	if op.suspendable {
+		b.markSuspendable(op.chip, die, false)
+	}
+	b.removeOp(op)
+	op.ev = sim.Event{}
+	if op.eraseDone != nil {
+		op.eraseDone(op.err)
+	}
+}
+
+// OpState is the serializable state of one tracked op at snapshot time.
+// Queue-phase ops record their FIFO position (QSeq); event-phase ops record
+// their pending event's fire time and engine sequence, so restore can replay
+// both resource order and same-instant event order exactly.
+type OpState struct {
+	Ch          int
+	Kind        OpKind
+	Chip        int
+	Addr        nand.Addr
+	Phase       OpPhase
+	Bits        int
+	Err         error
+	Suspendable bool
+	QSeq        uint64
+	EventTime   sim.Time
+	EventSeq    uint64
+	Tag         any
+}
+
+// Queued reports whether the op is waiting on a resource (as opposed to
+// owning a pending engine event).
+func (st OpState) Queued() bool { return st.Phase.queued() }
+
+// SnapshotOps captures the lifecycle state of every tracked op in flight on
+// this channel. The bus's own state (stats, resource usage, suspend marks)
+// is captured separately by Snapshot.
+func (b *Bus) SnapshotOps() []OpState {
+	if len(b.ops) == 0 {
+		return nil
+	}
+	out := make([]OpState, 0, len(b.ops))
+	for _, op := range b.ops {
+		st := OpState{
+			Ch: b.id, Kind: op.kind, Chip: op.chip, Addr: op.addr, Phase: op.phase,
+			Bits: op.bits, Err: op.err, Suspendable: op.suspendable, QSeq: op.qseq, Tag: op.tag,
+		}
+		if !op.phase.queued() {
+			if !op.ev.Pending() {
+				panic("onfi: event-phase op without a pending event")
+			}
+			st.EventTime = op.ev.Time()
+			st.EventSeq = op.ev.Seq()
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// ResumeOp reinstates a captured op on this (freshly restored) bus. The
+// caller owns global ordering: queue-phase ops must be resumed in QSeq order
+// per channel before any event-phase op is resumed (sorted by EventSeq
+// across channels), so resource FIFO positions and same-instant event order
+// come back exactly. A queue-phase resume requires its resource to be busy —
+// guaranteed when the bus state was captured between events, because a
+// released resource grants its waiters synchronously.
+func (b *Bus) ResumeOp(st OpState, readDone func(bitErrors int, err error), eraseDone func(error)) {
+	if st.Ch != b.id {
+		panic(fmt.Sprintf("onfi: ResumeOp for channel %d on bus %d", st.Ch, b.id))
+	}
+	op := &busOp{
+		b: b, kind: st.Kind, chip: st.Chip, addr: st.Addr, phase: st.Phase,
+		bits: st.Bits, err: st.Err, suspendable: st.Suspendable, qseq: st.QSeq, tag: st.Tag,
+		readDone: readDone, eraseDone: eraseDone,
+	}
+	if st.QSeq > b.qseq {
+		b.qseq = st.QSeq
+	}
+	b.registerOp(op)
+	die := st.Addr.Die
+	if st.Queued() {
+		r := b.wires
+		if st.Phase == OpDieQueue {
+			r = b.dies[st.Chip][die]
+		}
+		if !r.Busy() {
+			panic("onfi: ResumeOp queue phase on an idle resource")
+		}
+		switch {
+		case st.Phase == OpDieQueue && st.Kind == OpRead:
+			r.Acquire(op.readDieGranted)
+		case st.Phase == OpDieQueue:
+			r.Acquire(op.eraseDieGranted)
+		case st.Phase == OpWireQueue1 && st.Kind == OpRead:
+			r.Acquire(op.readWiresGranted)
+		case st.Phase == OpWireQueue1:
+			r.Acquire(op.eraseWiresGranted)
+		case st.Phase == OpWireQueue2 && st.Kind == OpRead:
+			r.Acquire(op.readXferGranted)
+		default:
+			panic("onfi: ResumeOp invalid queued phase")
+		}
+		return
+	}
+	var fire func()
+	switch {
+	case st.Phase == OpCmd && st.Kind == OpRead:
+		fire = op.readCmdDone
+	case st.Phase == OpCmd:
+		fire = op.eraseCmdDone
+	case st.Phase == OpArray && st.Kind == OpRead:
+		fire = op.readArrayDone
+	case st.Phase == OpArray:
+		fire = op.eraseArrayDone
+	case st.Phase == OpXfer && st.Kind == OpRead:
+		fire = op.readXferDone
+	default:
+		panic("onfi: ResumeOp invalid event phase")
+	}
+	op.ev = b.eng.At(st.EventTime, fire)
+}
+
+// ResourceState is the utilization accounting of one sim.Resource at
+// snapshot time.
+type ResourceState struct {
+	Busy  bool
+	Since sim.Time
+	Total sim.Time
+}
+
+func captureResource(r *sim.Resource) ResourceState {
+	return ResourceState{Busy: r.Busy(), Since: r.BusySince, Total: r.BusyTime()}
+}
+
+// BusState is a deep copy of a channel's mutable state, excluding tracked
+// ops (captured by SnapshotOps) and observers (snapshotting an observed bus
+// panics — probe attachments are measurement fixtures, not drive state).
+type BusState struct {
+	Stats       BusStats
+	Wires       ResourceState
+	Dies        [][]ResourceState
+	Suspendable [][]bool
+}
+
+// Snapshot captures the channel's stats, resource usage, and suspend marks.
+func (b *Bus) Snapshot() *BusState {
+	if b.observed() {
+		panic("onfi: Snapshot with observers attached")
+	}
+	st := &BusState{Stats: b.stats, Wires: captureResource(b.wires)}
+	st.Dies = make([][]ResourceState, len(b.dies))
+	st.Suspendable = make([][]bool, len(b.suspendable))
+	for i := range b.dies {
+		st.Dies[i] = make([]ResourceState, len(b.dies[i]))
+		for d, r := range b.dies[i] {
+			st.Dies[i][d] = captureResource(r)
+		}
+		st.Suspendable[i] = append([]bool(nil), b.suspendable[i]...)
+	}
+	return st
+}
+
+// Restore overwrites a freshly built channel's state with a snapshot. The
+// bus must have no tracked ops; in-flight ops are reinstated afterward via
+// ResumeOp, re-acquiring the resources whose busy/queue accounting this
+// call reinstates.
+func (b *Bus) Restore(st *BusState) {
+	if len(b.ops) != 0 {
+		panic("onfi: Restore on a bus with tracked ops")
+	}
+	if len(st.Dies) != len(b.dies) {
+		panic("onfi: Restore chip-count mismatch")
+	}
+	b.stats = st.Stats
+	b.wires.RestoreUsage(st.Wires.Busy, st.Wires.Since, st.Wires.Total)
+	for i := range b.dies {
+		if len(st.Dies[i]) != len(b.dies[i]) {
+			panic("onfi: Restore die-count mismatch")
+		}
+		for d, r := range b.dies[i] {
+			ds := st.Dies[i][d]
+			r.RestoreUsage(ds.Busy, ds.Since, ds.Total)
+		}
+		copy(b.suspendable[i], st.Suspendable[i])
+	}
+}

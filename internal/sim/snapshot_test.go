@@ -1,0 +1,104 @@
+package sim
+
+import "testing"
+
+func TestRebase(t *testing.T) {
+	e := NewEngine()
+	e.Rebase(5 * Second)
+	if e.Now() != 5*Second {
+		t.Fatalf("Now = %d after Rebase", e.Now())
+	}
+	fired := false
+	e.Schedule(Microsecond, func() { fired = true })
+	e.Run()
+	if !fired || e.Now() != 5*Second+Microsecond {
+		t.Fatalf("post-Rebase schedule broken: fired=%v now=%d", fired, e.Now())
+	}
+}
+
+func TestRebasePanicsWithPending(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(Microsecond, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rebase with pending events must panic")
+		}
+	}()
+	e.Rebase(Second)
+}
+
+func TestRebasePanicsBackward(t *testing.T) {
+	e := NewEngine()
+	e.Rebase(Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backward Rebase must panic")
+		}
+	}()
+	e.Rebase(Millisecond)
+}
+
+func TestEventSeq(t *testing.T) {
+	e := NewEngine()
+	a := e.Schedule(Microsecond, func() {})
+	b := e.Schedule(Microsecond, func() {})
+	if a.Seq() == 0 || b.Seq() == 0 {
+		t.Fatal("pending events must report nonzero Seq")
+	}
+	if a.Seq() >= b.Seq() {
+		t.Fatalf("Seq not increasing: %d then %d", a.Seq(), b.Seq())
+	}
+	a.Cancel()
+	if a.Seq() != 0 {
+		t.Fatal("canceled event must report Seq 0")
+	}
+	e.Run()
+	if b.Seq() != 0 {
+		t.Fatal("fired event must report Seq 0")
+	}
+}
+
+func TestRestoreUsage(t *testing.T) {
+	e := NewEngine()
+	e.Rebase(10 * Millisecond)
+	r := NewResource(e)
+	r.RestoreUsage(false, 0, 3*Millisecond)
+	if r.Busy() || r.BusyTime() != 3*Millisecond {
+		t.Fatalf("restore mismatch: busy=%v total=%d", r.Busy(), r.BusyTime())
+	}
+	// An immediate hold accrues on top of the restored total.
+	r.Acquire(func() {})
+	e.Schedule(2*Millisecond, func() { r.Release() })
+	e.Run()
+	if r.BusyTime() != 5*Millisecond {
+		t.Fatalf("BusyTime = %d, want 5ms", r.BusyTime())
+	}
+}
+
+func TestRestoreUsageBusyHolder(t *testing.T) {
+	e := NewEngine()
+	e.Rebase(10 * Millisecond)
+	r := NewResource(e)
+	r.RestoreUsage(true, 4*Millisecond, Millisecond)
+	if !r.Busy() || r.BusySince != 4*Millisecond {
+		t.Fatal("busy restore mismatch")
+	}
+	e.Schedule(Millisecond, func() { r.Release() })
+	e.Run()
+	// Held 4ms..11ms on top of the restored 1ms.
+	if r.BusyTime() != 8*Millisecond {
+		t.Fatalf("BusyTime = %d, want 8ms", r.BusyTime())
+	}
+}
+
+func TestRestoreUsagePanicsInUse(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	r.Acquire(func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RestoreUsage on held resource must panic")
+		}
+	}()
+	r.RestoreUsage(false, 0, 0)
+}

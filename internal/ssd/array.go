@@ -136,6 +136,31 @@ func (a *Array) Erase(ch, chip int, addr nand.Addr, background bool, done func(e
 	a.buses[ch].Erase(chip, addr, done)
 }
 
+// ReadTracked implements ftl.TrackedFlash by forwarding to the channel bus.
+func (a *Array) ReadTracked(ch, chip int, addr nand.Addr, tag any, done func(int, error)) {
+	a.buses[ch].ReadTracked(chip, addr, tag, done)
+}
+
+// EraseTracked implements ftl.TrackedFlash by forwarding to the channel bus.
+func (a *Array) EraseTracked(ch, chip int, addr nand.Addr, background bool, tag any, done func(error)) {
+	a.buses[ch].EraseTracked(chip, addr, background, tag, done)
+}
+
+// SnapshotOps implements ftl.TrackedFlash: the in-flight tracked ops across
+// every channel (each OpState carries its channel id).
+func (a *Array) SnapshotOps() []onfi.OpState {
+	var out []onfi.OpState
+	for _, b := range a.buses {
+		out = append(out, b.SnapshotOps()...)
+	}
+	return out
+}
+
+// ResumeOp implements ftl.TrackedFlash by dispatching on the op's channel.
+func (a *Array) ResumeOp(st onfi.OpState, readDone func(int, error), eraseDone func(error)) {
+	a.buses[st.Ch].ResumeOp(st, readDone, eraseDone)
+}
+
 // WearStats returns the maximum and total per-block erase counts across the
 // array — the basis of the wear-leveling S.M.A.R.T. attribute.
 func (a *Array) WearStats() (maxErase int, totalErases int64) {
@@ -160,4 +185,4 @@ func (a *Array) Bus(ch int) *onfi.Bus { return a.buses[ch] }
 // Chip returns the chip at (channel, way), for teardown-style inspection.
 func (a *Array) Chip(ch, w int) *nand.Chip { return a.chips[ch][w] }
 
-var _ ftl.Flash = (*Array)(nil)
+var _ ftl.TrackedFlash = (*Array)(nil)

@@ -254,3 +254,45 @@ func TestTableRendering(t *testing.T) {
 		t.Errorf("table has %d lines, want 4:\n%s", len(lines), s)
 	}
 }
+
+// TestLatencyRecorderSortMemoization pins the sorted-state memo: queries
+// after a sort must not re-sort until a new sample invalidates it, and the
+// memo must never change query results.
+func TestLatencyRecorderSortMemoization(t *testing.T) {
+	r := NewLatencyRecorder()
+	for _, v := range []sim.Time{300, 100, 200} {
+		r.Record(v)
+	}
+	if r.sorted {
+		t.Fatal("recorder claims sorted before any query")
+	}
+	if got := r.Percentile(50); got != 200 {
+		t.Fatalf("Percentile(50) = %d, want 200", got)
+	}
+	if !r.sorted {
+		t.Fatal("query did not memoize the sorted state")
+	}
+	// A memoized query must see the same data without invalidation.
+	if got := r.Percentile(0); got != 100 {
+		t.Fatalf("Percentile(0) = %d, want 100", got)
+	}
+	if !r.sorted {
+		t.Fatal("read-only query dropped the sort memo")
+	}
+	r.Record(50)
+	if r.sorted {
+		t.Fatal("Record did not invalidate the sort memo")
+	}
+	if got := r.Percentile(0); got != 50 {
+		t.Fatalf("Percentile(0) after Record = %d, want 50", got)
+	}
+	if got := r.Max(); got != 300 {
+		t.Fatalf("Max = %d, want 300", got)
+	}
+	// Snapshot must return a copy, not alias recorder state.
+	snap := r.Snapshot()
+	snap[0] = 999999
+	if got := r.Percentile(0); got != 50 {
+		t.Fatalf("mutating Snapshot() result changed recorder state: Percentile(0) = %d", got)
+	}
+}

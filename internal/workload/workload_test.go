@@ -269,3 +269,27 @@ func TestZeroDurationAccessors(t *testing.T) {
 		t.Error("zero-duration result should report 0 rates")
 	}
 }
+
+// TestResultRatesZeroDuration pins the zero/negative-duration guards: rate
+// accessors must return 0 instead of dividing by zero (a Result from a
+// workload that completed no simulated time, e.g. MaxRequests=0).
+func TestResultRatesZeroDuration(t *testing.T) {
+	r := Result{Requests: 100, BytesWritten: 1 << 20, BytesRead: 1 << 20}
+	if got := r.IOPS(); got != 0 {
+		t.Fatalf("IOPS with zero duration = %v, want 0", got)
+	}
+	if got := r.ThroughputMBps(); got != 0 {
+		t.Fatalf("ThroughputMBps with zero duration = %v, want 0", got)
+	}
+	r.Duration = -sim.Second
+	if got, got2 := r.IOPS(), r.ThroughputMBps(); got != 0 || got2 != 0 {
+		t.Fatalf("rates with negative duration = %v, %v, want 0, 0", got, got2)
+	}
+	r.Duration = sim.Second
+	if got := r.IOPS(); got != 100 {
+		t.Fatalf("IOPS = %v, want 100", got)
+	}
+	if got := r.ThroughputMBps(); got != float64(2<<20)/1e6 {
+		t.Fatalf("ThroughputMBps = %v, want %v", got, float64(2<<20)/1e6)
+	}
+}
