@@ -12,11 +12,11 @@ vet:
 	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
 
 bench:
-	scripts/bench.sh BENCH_4.json
+	scripts/bench.sh BENCH_5.json
 
 # Gate the scheduler/stats hot paths against the previous committed baseline.
 bench-diff:
-	$(GO) run ./cmd/benchdiff -filter 'BenchmarkEngine|BenchmarkRecorder' BENCH_3.json BENCH_4.json
+	$(GO) run ./cmd/benchdiff -filter 'BenchmarkEngine|BenchmarkRecorder' BENCH_4.json BENCH_5.json
 
 reproduce:
 	$(GO) run ./cmd/reproduce

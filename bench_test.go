@@ -8,6 +8,7 @@ import (
 
 	"ssdtp/internal/experiments"
 	"ssdtp/internal/ftl"
+	"ssdtp/internal/obs"
 	"ssdtp/internal/runner"
 	"ssdtp/internal/sim"
 	"ssdtp/internal/ssd"
@@ -47,6 +48,22 @@ func BenchmarkFig2Compression(b *testing.B) {
 func BenchmarkFig3TailLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res := experiments.Fig3TailLatency(experiments.Quick, int64(i)+1)
+		b.ReportMetric(res.P99Spread(), "p99-spread")
+	}
+}
+
+// BenchmarkFig3Attribution regenerates fig3 with the full observability
+// stack live — collector, span capture, latency-attribution profiler, and
+// timeline sampling — where BenchmarkFig3TailLatency runs it tracing-off.
+// The ns/op ratio between the two is the tracing-on overhead; the budget is
+// ≤10%.
+func BenchmarkFig3Attribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		col := obs.NewCollector()
+		col.SetTimeline(10 * sim.Millisecond)
+		experiments.SetObserver(col)
+		res := experiments.Fig3TailLatency(experiments.Quick, int64(i)+1)
+		experiments.SetObserver(nil)
 		b.ReportMetric(res.P99Spread(), "p99-spread")
 	}
 }

@@ -7,10 +7,16 @@
 // stderr so redirected output stays clean.
 //
 // With -trace FILE the traced experiments (fig3, tabS3, tabS4) also emit a
-// JSONL span stream, and with -metrics FILE a Prometheus-style text dump of
-// per-cell counters. Both are timestamped with the simulated clock and
-// ordered by cell label, so they too are byte-identical for any -parallel
-// value.
+// JSONL span stream, with -trace-perfetto FILE a Chrome trace-event JSON
+// document loadable in Perfetto/chrome://tracing, with -timeline FILE a
+// time-windowed telemetry CSV (sampled every -timeline-ms of simulated
+// time), and with -metrics FILE a Prometheus-style text dump of per-cell
+// counters. All are timestamped with the simulated clock and ordered by cell
+// label, so they too are byte-identical for any -parallel value.
+//
+// -http ADDR serves a live ops endpoint while the run is in flight:
+// net/http/pprof and expvar, a /metrics snapshot of completed cells, and a
+// /progress JSON view with cells/sec throughput and ETA.
 //
 // Expensive preconditioning (the fig3-family steady-state prefill, the aged
 // file systems of fig1/tabS7) is built once per distinct image and cloned
@@ -19,7 +25,7 @@
 //
 // Usage:
 //
-//	reproduce [-run fig1,fig2,fig3,fig4a,fig4b,fig5,fig6|all] [-full] [-seed N] [-parallel N] [-quiet] [-trace FILE] [-metrics FILE] [-snapshot-cache=false]
+//	reproduce [-run fig1,fig2,fig3,fig4a,fig4b,fig5,fig6|all] [-full] [-seed N] [-parallel N] [-quiet] [-trace FILE] [-trace-perfetto FILE] [-trace-cap N] [-timeline FILE] [-timeline-ms N] [-metrics FILE] [-http ADDR] [-snapshot-cache=false]
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"ssdtp/internal/experiments"
 	"ssdtp/internal/obs"
 	"ssdtp/internal/runner"
+	"ssdtp/internal/sim"
 )
 
 func main() {
@@ -44,29 +51,52 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment cells run concurrently (results are identical for any value)")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines on stderr")
 	traceFile := flag.String("trace", "", "write a JSONL span trace of the traced experiments to this file")
+	perfettoFile := flag.String("trace-perfetto", "", "write a Chrome trace-event/Perfetto JSON trace of the traced experiments to this file")
+	traceCap := flag.Int("trace-cap", 0, "per-cell trace record cap (0 = default 1<<20; negative = unbounded); drops are counted in ssdtp_trace_dropped_spans_total")
+	timelineFile := flag.String("timeline", "", "write a time-windowed telemetry CSV to this file")
+	timelineMS := flag.Int64("timeline-ms", 10, "timeline sampling interval in simulated milliseconds")
 	metricsFile := flag.String("metrics", "", "write a Prometheus-style text dump of per-cell metrics to this file")
+	httpAddr := flag.String("http", "", "serve a live ops endpoint (pprof, expvar, /metrics, /progress) on this address, e.g. :6060")
 	snapCache := flag.Bool("snapshot-cache", true, "build each distinct preconditioned drive/file-system image once and clone it per cell (results are identical either way)")
 	flag.Parse()
 
 	experiments.SetSnapshotCache(*snapCache)
 
+	tracker := runner.NewTracker()
 	progress := func(ev runner.Event) {
+		tracker.Observe(ev)
 		switch ev.Kind {
 		case runner.CellStart:
 			fmt.Fprintf(os.Stderr, "[%3d/%d] %-40s ...\n", ev.Index+1, ev.Total, ev.Label)
 		case runner.CellDone:
-			fmt.Fprintf(os.Stderr, "[%3d/%d] %-40s %8.2fs\n", ev.Index+1, ev.Total, ev.Label, ev.Duration.Seconds())
+			fmt.Fprintf(os.Stderr, "[%3d/%d] %-40s %8.2fs%s\n", ev.Index+1, ev.Total, ev.Label,
+				ev.Duration.Seconds(), tracker.Suffix())
 		}
 	}
 	if *quiet {
-		progress = nil
+		progress = tracker.Observe
 	}
 	experiments.SetPool(&runner.Pool{Workers: *parallel, Progress: progress})
 
 	var col *obs.Collector
-	if *traceFile != "" || *metricsFile != "" {
+	if *traceFile != "" || *perfettoFile != "" || *timelineFile != "" || *metricsFile != "" || *httpAddr != "" {
 		col = obs.NewCollector()
+		if *traceCap != 0 {
+			col.SetRecordCap(*traceCap)
+		}
+		if *timelineFile != "" {
+			col.SetTimeline(sim.Time(*timelineMS) * sim.Millisecond)
+		}
 		experiments.SetObserver(col)
+	}
+	if *httpAddr != "" {
+		addr, shutdown, err := obs.ServeOps(*httpAddr, col, func() any { return tracker.Snapshot() })
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "(ops endpoint on http://%s)\n", addr)
 	}
 	writeObs := func(path string, write func(f *os.File) error) {
 		if path == "" || col == nil {
@@ -89,6 +119,8 @@ func main() {
 	}
 	flushObs := func() {
 		writeObs(*traceFile, func(f *os.File) error { return col.WriteJSONL(f) })
+		writeObs(*perfettoFile, func(f *os.File) error { return col.WritePerfetto(f) })
+		writeObs(*timelineFile, func(f *os.File) error { return col.WriteTimelineCSV(f) })
 		writeObs(*metricsFile, func(f *os.File) error { return col.WriteMetrics(f) })
 	}
 
@@ -98,17 +130,27 @@ func main() {
 		}
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			return
+			os.Exit(1)
 		}
-		f, err := os.Create(filepath.Join(*csvDir, name))
+		path := filepath.Join(*csvDir, name)
+		f, err := os.Create(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			return
+			os.Exit(1)
 		}
-		fmt.Fprintln(f, header)
+		if _, err := fmt.Fprintln(f, header); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		rows(f)
-		_ = f.Close()
-		fmt.Printf("(wrote %s)\n", filepath.Join(*csvDir, name))
+		// Close errors are write errors deferred by the OS (e.g. a full
+		// disk flushing buffered data) — a silently truncated CSV must not
+		// look like success.
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(wrote %s)\n", path)
 	}
 
 	scale := experiments.Quick

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	ssdfio -model MX500 -pattern uniform -size 4096 -qd 4 -ms 500 [-smart]
+//	       [-trace FILE] [-trace-perfetto FILE] [-timeline FILE] [-metrics FILE] [-http ADDR]
 package main
 
 import (
@@ -32,7 +33,11 @@ func main() {
 	prefill := flag.Bool("prefill", false, "sequentially prefill 85% of the device first")
 	replayFile := flag.String("replay", "", "replay a text block trace (`W off len` / `R off len` / `T off len` / `F` per line) instead of a synthetic pattern")
 	traceFile := flag.String("trace", "", "write a JSONL span trace of the run (prefill excluded) to this file")
+	perfettoFile := flag.String("trace-perfetto", "", "write a Chrome trace-event/Perfetto JSON trace of the run to this file")
+	traceCap := flag.Int("trace-cap", 0, "trace record cap (0 = default 1<<20; negative = unbounded); drops are counted in ssdtp_trace_dropped_spans_total")
+	timelineFile := flag.String("timeline", "", "write a time-windowed telemetry CSV (sampled every -timeline-ms) to this file")
 	metricsFile := flag.String("metrics", "", "write a Prometheus-style text dump of device metrics to this file")
+	httpAddr := flag.String("http", "", "serve a live ops endpoint (pprof, expvar, /metrics, /progress) on this address, e.g. :6060")
 	flag.Parse()
 
 	cfg, err := modelByName(*model)
@@ -41,9 +46,30 @@ func main() {
 		os.Exit(2)
 	}
 	var tr *obs.Tracer
-	if *traceFile != "" || *metricsFile != "" {
-		tr = obs.NewTracer(*model)
+	var col *obs.Collector
+	if *traceFile != "" || *perfettoFile != "" || *timelineFile != "" || *metricsFile != "" || *httpAddr != "" {
+		col = obs.NewCollector()
+		if *traceCap != 0 {
+			col.SetRecordCap(*traceCap)
+		}
+		if *timelineFile != "" {
+			itv := *timelineMS
+			if itv <= 0 {
+				itv = 10
+			}
+			col.SetTimeline(sim.Time(itv) * sim.Millisecond)
+		}
+		tr = col.Cell(*model)
 		cfg.Trace = tr
+	}
+	if *httpAddr != "" {
+		addr, shutdown, err := obs.ServeOps(*httpAddr, col, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "(ops endpoint on http://%s)\n", addr)
 	}
 	dev := ssd.NewDevice(sim.NewEngine(), cfg)
 
@@ -92,7 +118,10 @@ func main() {
 	}
 	flushObs := func() {
 		dev.PublishMetrics(tr)
+		col.MarkDone(*model)
 		writeObs(*traceFile, func(f *os.File) error { return tr.WriteJSONL(f) })
+		writeObs(*perfettoFile, func(f *os.File) error { return tr.WritePerfetto(f) })
+		writeObs(*timelineFile, func(f *os.File) error { return tr.WriteTimelineCSV(f) })
 		writeObs(*metricsFile, func(f *os.File) error { return tr.WriteMetrics(f) })
 	}
 

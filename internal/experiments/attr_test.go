@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"ssdtp/internal/obs"
+	"ssdtp/internal/sim"
+)
+
+// fig3Attribution runs the fig3 grid once with attribution collected and
+// returns the per-cell tracers keyed by label.
+func fig3Attribution(t *testing.T) map[string]*obs.Tracer {
+	t.Helper()
+	col := obs.NewCollector()
+	prev := observer()
+	SetObserver(col)
+	defer SetObserver(prev)
+	res := Fig3TailLatency(Quick, 42)
+	cells := make(map[string]*obs.Tracer)
+	for _, s := range res.Series {
+		label := fmt.Sprintf("fig3/%s/%s", s.Config, fmtBytes(int64(s.RequestBytes)))
+		cells[label] = col.Cell(label)
+	}
+	return cells
+}
+
+// The attribution exactness contract on the real stack: across every fig3
+// cell (all victim-selection policies and request sizes), every completed
+// request's phase charges must sum to its end-to-end latency exactly — no
+// sampling error, no residual bucket.
+func TestFig3AttributionExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid regeneration")
+	}
+	cells := fig3Attribution(t)
+	if len(cells) == 0 {
+		t.Fatal("no fig3 cells traced")
+	}
+	for label, tr := range cells {
+		p := tr.Prof()
+		rows := p.Rows()
+		if p.Requests() == 0 || len(rows) == 0 {
+			t.Errorf("%s: no attributed requests", label)
+			continue
+		}
+		for i, r := range rows {
+			var sum sim.Time
+			for _, v := range r.Phases {
+				sum += v
+			}
+			if sum != r.Total {
+				t.Fatalf("%s: request %d: phase sum %d != total %d (%+v)",
+					label, i, sum, r.Total, r)
+			}
+		}
+	}
+}
+
+// The paper's fig3 argument, made quantitative: what separates the FTL
+// configurations' 99th-percentile tails is hidden background work — GC
+// interference plus the channel/die contention it induces — not the NAND
+// array itself. Pin that the combined gc_stall + chan_wait share of p99-tail
+// latency dominates every policy's write path.
+func TestFig3TailGCAndChannelDominate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid regeneration")
+	}
+	cells := fig3Attribution(t)
+	perConfig := map[string][2]int64{} // config -> {interference ppm sum, cell count}
+	for label, tr := range cells {
+		shares, thresh := tr.Prof().TailShares(0.01)
+		interference := shares[obs.PhaseGCStall] + shares[obs.PhaseChanWait]
+		t.Logf("%s: p99 thresh %v  shares(ppm): hostq=%d disp=%d hit=%d stall=%d chan=%d nand=%d gc=%d  (gc+chan=%d)",
+			label, thresh,
+			shares[obs.PhaseHostQueue], shares[obs.PhaseDispatch], shares[obs.PhaseCacheHit],
+			shares[obs.PhaseCacheStall], shares[obs.PhaseChanWait], shares[obs.PhaseNAND],
+			shares[obs.PhaseGCStall], interference)
+		cfg := label[len("fig3/"):]
+		for i := len(cfg) - 1; i >= 0; i-- {
+			if cfg[i] == '/' {
+				cfg = cfg[:i]
+				break
+			}
+		}
+		agg := perConfig[cfg]
+		agg[0] += interference
+		agg[1]++
+		perConfig[cfg] = agg
+	}
+	for cfg, agg := range perConfig {
+		mean := agg[0] / agg[1]
+		if mean < 500_000 {
+			t.Errorf("%s: mean gc_stall+chan_wait p99 share = %d ppm; interference should dominate the tail", cfg, mean)
+		}
+	}
+}

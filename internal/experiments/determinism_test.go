@@ -6,6 +6,7 @@ import (
 
 	"ssdtp/internal/obs"
 	"ssdtp/internal/runner"
+	"ssdtp/internal/sim"
 )
 
 // withPool runs f with the given pool installed, restoring the previous
@@ -57,53 +58,65 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 
 // The observability stream is held to the same contract as the tables:
 // spans carry simulated-clock timestamps and cells are keyed by label, so
-// the exported JSONL trace and metrics dump must be byte-identical run to
-// run and for any worker count. Not parallel with the other determinism
-// tests: each traced run buffers every span of the grid in memory.
+// the exported JSONL trace, metrics dump, Perfetto trace, and telemetry
+// timeline must all be byte-identical run to run and for any worker count.
+// Not parallel with the other determinism tests: each traced run buffers
+// every span of the grid in memory.
 func TestTraceByteIdenticalAcrossWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full grid regeneration")
 	}
-	render := func(workers int) (trace, metrics string) {
+	type export struct{ trace, metrics, perfetto, timeline string }
+	render := func(workers int) export {
 		col := obs.NewCollector()
+		col.SetTimeline(sim.Millisecond)
 		prev := observer()
 		SetObserver(col)
 		defer SetObserver(prev)
 		withPool(&runner.Pool{Workers: workers}, func() { TabS3OpenChannel(Quick, 42) })
-		var tb, mb strings.Builder
+		var tb, mb, pb, lb strings.Builder
 		if err := col.WriteJSONL(&tb); err != nil {
 			t.Fatal(err)
 		}
 		if err := col.WriteMetrics(&mb); err != nil {
 			t.Fatal(err)
 		}
-		return tb.String(), mb.String()
+		if err := col.WritePerfetto(&pb); err != nil {
+			t.Fatal(err)
+		}
+		if err := col.WriteTimelineCSV(&lb); err != nil {
+			t.Fatal(err)
+		}
+		return export{tb.String(), mb.String(), pb.String(), lb.String()}
 	}
-	tr1a, me1a := render(1)
-	tr1b, me1b := render(1)
-	tr8, me8 := render(8)
-	if tr1a == "" || me1a == "" {
+	e1a := render(1)
+	e1b := render(1)
+	e8 := render(8)
+	if e1a.trace == "" || e1a.metrics == "" {
 		t.Fatal("traced run produced an empty trace or metrics dump")
 	}
 	// tabS3's Quick window is too short to trigger GC, but it must show
 	// request spans and cache-eviction events from both layers.
-	if !strings.Contains(tr1a, `"name":"ssd.read"`) {
+	if !strings.Contains(e1a.trace, `"name":"ssd.read"`) {
 		t.Error("trace contains no device read spans; instrumentation lost")
 	}
-	if !strings.Contains(tr1a, `"name":"ftl.cache.evict"`) {
+	if !strings.Contains(e1a.trace, `"name":"ftl.cache.evict"`) {
 		t.Error("trace contains no FTL cache-eviction events; instrumentation lost")
 	}
-	if tr1a != tr1b {
-		t.Error("two serial same-seed runs produced different traces")
+	if !strings.Contains(e1a.perfetto, `"traceEvents"`) {
+		t.Error("Perfetto export missing traceEvents array")
 	}
-	if me1a != me1b {
-		t.Error("two serial same-seed runs produced different metrics")
+	if !strings.Contains(e1a.timeline, "cell,t_ns,") {
+		t.Error("timeline export missing CSV header")
 	}
-	if tr8 != tr1a {
-		t.Error("8-worker trace differs from serial trace")
+	if strings.Count(e1a.timeline, "\n") < 2 {
+		t.Error("timeline export has no sample rows")
 	}
-	if me8 != me1a {
-		t.Error("8-worker metrics differ from serial metrics")
+	if e1a != e1b {
+		t.Error("two serial same-seed runs produced different observability exports")
+	}
+	if e8 != e1a {
+		t.Error("8-worker observability exports differ from serial")
 	}
 }
 

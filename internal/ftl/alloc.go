@@ -84,6 +84,9 @@ func (f *FTL) submitPage(op *pageOp) {
 	}
 	pu := &f.pus[op.pu]
 	if !f.tryIssue(pu, op) {
+		// Parked for a free block: the host request (if any) is now waiting
+		// on collection to reclaim space — GC interference by definition.
+		op.req.Mark(obs.PhaseGCStall)
 		pu.waiters = append(pu.waiters, op)
 	}
 }
@@ -104,6 +107,7 @@ func (f *FTL) tryIssue(pu *puState, op *pageOp) bool {
 	// buffered; a demand read is always more urgent.
 	background := f.cfg.GCSuspend &&
 		(op.kind != kindData || op.entries != nil)
+	f.prof.SetOp(op.req)
 	f.flash.Program(pu.ch, pu.chip, addr, op.slc, background, func(err error) {
 		if err != nil {
 			f.programFailed(pu, op, blk, gb)

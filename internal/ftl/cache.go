@@ -42,7 +42,15 @@ type writeCache struct {
 
 	free *cacheEntry // recycled entries, linked through cacheEntry.next
 
-	admitWaiters []func()
+	admitWaiters []admitWaiter
+}
+
+// admitWaiter is a host write stalled on cache admission, with its
+// latency-attribution record (nil when tracing is off) so the stall is
+// charged to GC interference or flush backpressure as appropriate.
+type admitWaiter struct {
+	done func()
+	attr *obs.ReqAttr
 }
 
 // newEntry returns a recycled (or fresh) dirty entry for lsn.
@@ -113,6 +121,7 @@ func (c *writeCache) drop(lsn int64) {
 // case completion waits for flush progress.
 func (f *FTL) writeCached(lsn int64, count int, done func()) {
 	c := f.cache
+	attr := f.prof.Cur()
 	for s := int64(0); s < int64(count); s++ {
 		l := lsn + s
 		if e, ok := c.entries[l]; ok {
@@ -138,9 +147,11 @@ func (f *FTL) writeCached(lsn int64, count int, done func()) {
 	}
 	f.maybeFlushCache()
 	if c.overCommitted() {
-		c.admitWaiters = append(c.admitWaiters, done)
+		f.prof.StallEnter(attr)
+		c.admitWaiters = append(c.admitWaiters, admitWaiter{done: done, attr: attr})
 		return
 	}
+	attr.Mark(obs.PhaseCacheHit)
 	f.eng.Schedule(cacheLatency, func() {
 		if done != nil {
 			done()
@@ -258,9 +269,13 @@ func (f *FTL) commitCachedSector(e *cacheEntry, op *pageOp, lsn, psn int64) {
 func (f *FTL) releaseAdmitWaiters() {
 	c := f.cache
 	for len(c.admitWaiters) > 0 && !c.overCommitted() {
-		done := c.admitWaiters[0]
+		w := c.admitWaiters[0]
 		copy(c.admitWaiters, c.admitWaiters[1:])
-		c.admitWaiters = c.admitWaiters[:len(c.admitWaiters)-1]
+		last := len(c.admitWaiters) - 1
+		c.admitWaiters[last] = admitWaiter{} // drop stale refs (attr pinning)
+		c.admitWaiters = c.admitWaiters[:last]
+		f.prof.StallExit(w.attr, obs.PhaseCacheHit)
+		done := w.done
 		f.eng.Schedule(cacheLatency, func() {
 			if done != nil {
 				done()

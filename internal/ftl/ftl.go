@@ -51,6 +51,7 @@ type pageOp struct {
 	pu      int
 	slc     bool
 	done    func()
+	req     *obs.ReqAttr // host request this program serves; nil for background
 
 	// Backing arrays (length secPerPage) retained across recycling; the
 	// slices above are views into these — or nil, which several call sites
@@ -151,7 +152,8 @@ type FTL struct {
 
 	counters Counters
 
-	tr *obs.Tracer // nil unless cfg.Trace set; all sites nil-safe
+	tr   *obs.Tracer   // nil unless cfg.Trace set; all sites nil-safe
+	prof *obs.Profiler // latency attribution; nil unless cfg.Trace set
 }
 
 // Dimension indices for allocation orders.
@@ -186,6 +188,7 @@ func New(eng *sim.Engine, flash Flash, cfg Config) *FTL {
 		pagesPerBlk: g.PagesPerBlock,
 		blksPerPU:   g.BlocksPerPlane,
 		tr:          cfg.Trace,
+		prof:        cfg.Trace.Prof(),
 	}
 	f.tflash, _ = flash.(TrackedFlash)
 	f.dims = [4]int{
@@ -338,6 +341,57 @@ func (f *FTL) FreeBlocks() int {
 // dirty cache contents).
 func (f *FTL) ValidSectors() int64 { return f.validTotal }
 
+// DirtyCacheBytes returns the bytes currently dirty in the write cache (0
+// without a data cache) — a telemetry gauge for the timeline view.
+func (f *FTL) DirtyCacheBytes() int64 {
+	if f.cache == nil {
+		return 0
+	}
+	return int64(f.cache.dirtyBytes)
+}
+
+// BacklogDepth returns how many operations are queued behind resource
+// shortages right now: page programs parked for a free block plus host writes
+// stalled on cache admission.
+func (f *FTL) BacklogDepth() int64 {
+	var n int64
+	for i := range f.pus {
+		n += int64(len(f.pus[i].waiters))
+	}
+	if f.cache != nil {
+		n += int64(len(f.cache.admitWaiters))
+	}
+	return n
+}
+
+// GCRunningPUs returns how many parallel units are mid-collection.
+func (f *FTL) GCRunningPUs() int64 {
+	var n int64
+	for i := range f.pus {
+		if f.pus[i].gcRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// setGCRunning flips a PU's collection flag, keeping the profiler's
+// GC-interference gauge in lock-step so admission stalls are charged to the
+// right cause at the instant collection starts or stops. Every gcRunning
+// assignment must go through here (snapshot restore credits the gauge
+// separately).
+func (f *FTL) setGCRunning(pu *puState, v bool) {
+	if pu.gcRunning == v {
+		return
+	}
+	pu.gcRunning = v
+	if v {
+		f.prof.GCBusy(1)
+	} else {
+		f.prof.GCBusy(-1)
+	}
+}
+
 // puCoords decomposes a PU index into (channel, chip, die, plane) using the
 // canonical channel-major layout.
 func (f *FTL) puCoords(idx int) (ch, chip, die, plane int) {
@@ -426,6 +480,7 @@ func (f *FTL) newPageOp(kind pageKind, pu int) *pageOp {
 func (f *FTL) releaseOp(op *pageOp) {
 	op.done = nil
 	op.slc = false
+	op.req = nil
 	op.lsns, op.old, op.entries = nil, nil, nil
 	for i := range op.entriesBuf {
 		op.entriesBuf[i] = nil
@@ -494,6 +549,7 @@ func (f *FTL) writeDirect(lsn int64, count int, done func()) {
 		}
 		op.lsns = lsns
 		op.slc = f.takePSLCCredit()
+		op.req = f.prof.Cur()
 		op.done = func() {
 			pending--
 			if pending == 0 && done != nil {
@@ -544,7 +600,10 @@ func (f *FTL) Read(lsn int64, count int, done func()) error {
 		}
 	}
 	f.readScratch = pages
+	attr := f.prof.Cur()
 	if len(pages) == 0 {
+		// Served entirely from DRAM (cache hits and/or unmapped zeros).
+		attr.Mark(obs.PhaseCacheHit)
 		f.scheduleDone(done)
 		return nil
 	}
@@ -555,6 +614,7 @@ func (f *FTL) Read(lsn int64, count int, done func()) error {
 		p := &f.pus[pu]
 		f.counters.PageReads++
 		f.inflightReads++
+		f.prof.SetOp(attr)
 		f.flash.Read(p.ch, p.chip, a, f.cfg.GCSuspend, func(bits int, _ error) {
 			f.inflightReads--
 			f.applyReadHealth(ppn, bits)

@@ -20,7 +20,7 @@ func (f *FTL) maybeStartGC(pu *puState, force bool) {
 	if f.cfg.GCYield && !force && f.hostActive() && len(pu.free) > hostReserveBlocks {
 		return
 	}
-	pu.gcRunning = true
+	f.setGCRunning(pu, true)
 	f.gcStep(pu)
 }
 
@@ -64,18 +64,18 @@ func (f *FTL) resumeYieldedGC() {
 // busy or none closed yet — commits re-arm collection).
 func (f *FTL) gcStep(pu *puState) {
 	if len(pu.free) >= f.cfg.GCHighWater {
-		pu.gcRunning = false
+		f.setGCRunning(pu, false)
 		return
 	}
 	// A yielding (host-scheduled) FTL pauses between victims as soon as
 	// foreground work appears; it resumes when the queue drains.
 	if f.cfg.GCYield && f.hostActive() && len(pu.free) > hostReserveBlocks {
-		pu.gcRunning = false
+		f.setGCRunning(pu, false)
 		return
 	}
 	idx := f.pickVictim(pu)
 	if idx < 0 {
-		pu.gcRunning = false
+		f.setGCRunning(pu, false)
 		return
 	}
 	victim := pu.full[idx]

@@ -209,6 +209,6 @@ func (f *FTL) maybeWearLevel(pu *puState) {
 	victim := pu.full[best]
 	pu.full = append(pu.full[:best], pu.full[best+1:]...)
 	f.counters.WearLevelRelocations++
-	pu.gcRunning = true
+	f.setGCRunning(pu, true)
 	f.collectBlock(pu, victim)
 }

@@ -234,6 +234,12 @@ func (f *FTL) Restore(st *State) {
 		pu.full = append([]int32(nil), s.full...)
 		pu.active, pu.gcActive = s.active, s.gcActive
 		pu.gcRunning = s.gcRunning
+		if s.gcRunning {
+			// Credit the profiler's interference gauge exactly as the live
+			// setGCRunning transitions would have, so a clone classifies
+			// admission stalls identically to a from-scratch build.
+			f.prof.GCBusy(1)
+		}
 		if s.job != nil {
 			pu.job = &gcJob{
 				victim:    s.job.victim,

@@ -75,12 +75,14 @@ type Config struct {
 // ErrQueueFull is returned when a submission queue is at capacity.
 var ErrQueueFull = errors.New("hostif: submission queue full")
 
-// pendingReq pairs a queued request with its submission time and the trace
-// span that covers it from submission to completion.
+// pendingReq pairs a queued request with its submission time, the trace span
+// that covers it from submission to completion, and its latency-attribution
+// record (begun in the host-queue phase at submit; nil with tracing off).
 type pendingReq struct {
 	req    Request
 	submit sim.Time
 	sp     obs.Span
+	attr   *obs.ReqAttr
 }
 
 // Queue is one submission/completion queue pair.
@@ -109,7 +111,8 @@ type Controller struct {
 	dev    *ssd.Device
 	cfg    Config
 	queues []*Queue
-	tr     *obs.Tracer // the device's tracer; nil when tracing is off
+	tr     *obs.Tracer   // the device's tracer; nil when tracing is off
+	prof   *obs.Profiler // its latency profiler; nil when tracing is off
 
 	inflight int
 	rrNext   int
@@ -122,7 +125,7 @@ func NewController(dev *ssd.Device, cfg Config) *Controller {
 	if cfg.MaxOutstanding <= 0 {
 		cfg.MaxOutstanding = 32
 	}
-	return &Controller{dev: dev, cfg: cfg, tr: dev.Tracer()}
+	return &Controller{dev: dev, cfg: cfg, tr: dev.Tracer(), prof: dev.Tracer().Prof()}
 }
 
 // Device returns the underlying device.
@@ -157,7 +160,12 @@ func (c *Controller) Submit(q *Queue, req Request) error {
 			obs.Int("off", req.Off),
 			obs.Int("len", req.Len))
 	}
-	q.pending = append(q.pending, pendingReq{req: req, submit: c.dev.Engine().Now(), sp: sp})
+	q.pending = append(q.pending, pendingReq{
+		req:    req,
+		submit: c.dev.Engine().Now(),
+		sp:     sp,
+		attr:   c.prof.BeginReq(obs.PhaseHostQueue),
+	})
 	c.pump()
 	return nil
 }
@@ -231,6 +239,10 @@ func (c *Controller) issue(q *Queue, pr pendingReq) {
 	if c.tr.Enabled() {
 		pr.sp.Event("hostif.issue", obs.Int("inflight", int64(c.inflight)))
 	}
+	// Queueing ends here; the device adopts the record through the hand-off
+	// slot (the *Async calls below are synchronous into traceRequest).
+	pr.attr.Mark(obs.PhaseDispatch)
+	c.prof.SetHandoff(pr.attr)
 	eng := c.dev.Engine()
 	complete := func() {
 		c.inflight--

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"testing"
+
+	"ssdtp/internal/sim"
+)
+
+// The disabled attribution path is on every request of every untraced run —
+// the common case — so its cost must stay at a few nil checks and zero
+// allocations (TestAttrDisabledZeroAlloc pins the allocation half in CI).
+func BenchmarkAttrDisabled(b *testing.B) {
+	var tr *Tracer
+	p := tr.Prof()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := p.BeginReq(PhaseHostQueue)
+		p.SetHandoff(a)
+		a = p.TakeHandoff()
+		a.Mark(PhaseDispatch)
+		p.SetCur(a)
+		p.Cur().Mark(PhaseCacheHit)
+		p.SetCur(nil)
+		a.End()
+	}
+}
+
+// One fully-attributed request lifecycle with tracing on: BeginReq through
+// five phase transitions to End, including the freelist recycle. This is the
+// per-request tax a traced run pays on top of the simulation itself.
+func BenchmarkAttrEnabled(b *testing.B) {
+	eng := sim.NewEngine()
+	tr := NewTracer("bench")
+	tr.BindEngine(eng)
+	p := tr.Prof()
+	p.rowCap = 1 // steady state: rows stay capped, totals keep accumulating
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := p.BeginReq(PhaseHostQueue)
+		a.Mark(PhaseDispatch)
+		a.Mark(PhaseCacheHit)
+		a.Mark(PhaseChanWait)
+		a.Mark(PhaseNAND)
+		a.End()
+	}
+}

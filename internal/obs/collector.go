@@ -1,9 +1,12 @@
 package obs
 
 import (
+	"bufio"
 	"io"
 	"sort"
 	"sync"
+
+	"ssdtp/internal/sim"
 )
 
 // Collector aggregates per-cell tracers across a parallel experiment run.
@@ -17,13 +20,41 @@ import (
 // byte-identical at any worker count. A nil *Collector hands out nil tracers,
 // keeping the whole observability layer disabled by default.
 type Collector struct {
-	mu    sync.Mutex
-	cells map[string]*Tracer
+	mu         sync.Mutex
+	cells      map[string]*Tracer
+	done       map[string]bool
+	recordCap  int      // 0 = tracer default; applied to cells at creation
+	tlInterval sim.Time // timeline sampling interval applied at creation
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{cells: make(map[string]*Tracer)}
+	return &Collector{cells: make(map[string]*Tracer), done: make(map[string]bool)}
+}
+
+// SetRecordCap applies a per-cell trace-record cap to existing cells and to
+// every cell created afterward (see Tracer.SetRecordCap).
+func (c *Collector) SetRecordCap(n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recordCap = n
+	for _, t := range c.cells {
+		t.SetRecordCap(n)
+	}
+}
+
+// SetTimeline configures timeline sampling (see Tracer.SetTimeline) on every
+// cell created afterward.
+func (c *Collector) SetTimeline(interval sim.Time) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tlInterval = interval
 }
 
 // Cell returns the tracer for label, creating it on first use. Repeated
@@ -38,9 +69,51 @@ func (c *Collector) Cell(label string) *Tracer {
 	t, ok := c.cells[label]
 	if !ok {
 		t = NewTracer(label)
+		if c.recordCap != 0 {
+			t.SetRecordCap(c.recordCap)
+		}
+		if c.tlInterval > 0 {
+			t.SetTimeline(c.tlInterval)
+		}
 		c.cells[label] = t
 	}
 	return t
+}
+
+// MarkDone records that label's cell finished its run. Done cells are safe to
+// export concurrently with other cells still running: the worker no longer
+// touches the tracer, and the collector mutex publishes its final state. The
+// live /metrics endpoint renders done cells only.
+func (c *Collector) MarkDone(label string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done[label] = true
+}
+
+// doneTracers returns the tracers of completed cells, sorted by label.
+func (c *Collector) doneTracers() []*Tracer {
+	c.mu.Lock()
+	out := make([]*Tracer, 0, len(c.done))
+	for label := range c.done {
+		if t, ok := c.cells[label]; ok {
+			out = append(out, t)
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
+}
+
+// WriteMetricsDone renders the metrics of completed cells only; safe while a
+// run is still in flight (the live ops endpoint's /metrics view).
+func (c *Collector) WriteMetricsDone(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	return writeMetricsText(w, c.doneTracers())
 }
 
 // Cells returns the number of registered cell tracers.
@@ -86,4 +159,46 @@ func (c *Collector) WriteMetrics(w io.Writer) error {
 		return nil
 	}
 	return writeMetricsText(w, c.tracers())
+}
+
+// WritePerfetto renders every cell's trace as one Chrome trace-event JSON
+// document, one process per cell in label order.
+func (c *Collector) WritePerfetto(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	return writePerfetto(w, c.tracers())
+}
+
+// WriteTimelineCSV renders every cell's timeline rows as one CSV stream,
+// cells in label order under a single header.
+func (c *Collector) WriteTimelineCSV(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	if err := writeTimelineHeader(bw); err != nil {
+		return err
+	}
+	for _, t := range c.tracers() {
+		if err := t.appendTimelineCSV(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTimelineJSONL renders every cell's timeline rows as JSONL, cells in
+// label order.
+func (c *Collector) WriteTimelineJSONL(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, t := range c.tracers() {
+		if err := t.appendTimelineJSONL(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }

@@ -75,6 +75,7 @@ func (t *Tracer) sealEngineMetrics() {
 	t.met.Set("ssdtp_sim_events_fired_total", t.eventsFired)
 	t.met.Set("ssdtp_sim_event_queue_high_water", int64(t.pendingHigh))
 	t.met.Set("ssdtp_sim_now_ns", t.now())
+	t.met.Set("ssdtp_trace_dropped_spans_total", t.droppedRecs)
 }
 
 // WriteMetrics renders the tracer's metrics as Prometheus-style text: a
@@ -94,6 +95,7 @@ func (t *Tracer) WriteMetrics(w io.Writer) error {
 func writeMetricsText(w io.Writer, cells []*Tracer) error {
 	for _, t := range cells {
 		t.sealEngineMetrics()
+		t.sealAttrMetrics()
 	}
 	nameSet := make(map[string]struct{})
 	for _, t := range cells {

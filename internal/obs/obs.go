@@ -76,15 +76,53 @@ type Tracer struct {
 	recs      []record
 	met       Metrics
 
+	// recCap bounds len(recs); records beyond it are counted in droppedRecs
+	// instead of buffered, so unbounded -full -trace runs degrade gracefully.
+	recCap      int
+	droppedRecs int64
+
+	prof *Profiler // latency attribution (lazily created by Prof)
+	tl   *timeline // time-windowed telemetry (nil unless configured)
+
 	// Engine observation (installed by BindEngine).
 	eventsFired  int64
 	pendingHigh  int
 	engineHooked bool
 }
 
+// DefaultRecordCap is the per-cell trace-record bound applied to new tracers;
+// override with SetRecordCap.
+const DefaultRecordCap = 1 << 20
+
 // NewTracer returns an empty tracer. label names the cell in exported
 // records; it may be empty for single-run tools.
-func NewTracer(label string) *Tracer { return &Tracer{label: label} }
+func NewTracer(label string) *Tracer { return &Tracer{label: label, recCap: DefaultRecordCap} }
+
+// SetRecordCap bounds the tracer's buffered trace records; records past the
+// cap are dropped and counted in the ssdtp_trace_dropped_spans_total metric.
+// n <= 0 removes the bound.
+func (t *Tracer) SetRecordCap(n int) {
+	if t != nil {
+		t.recCap = n
+	}
+}
+
+// DroppedRecords returns the number of records discarded by the record cap.
+func (t *Tracer) DroppedRecords() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.droppedRecs
+}
+
+// addRecord buffers r, or drops it when the record cap is reached.
+func (t *Tracer) addRecord(r record) {
+	if t.recCap > 0 && len(t.recs) >= t.recCap {
+		t.droppedRecs++
+		return
+	}
+	t.recs = append(t.recs, r)
+}
 
 // Label returns the cell label the tracer was created with.
 func (t *Tracer) Label() string {
@@ -126,10 +164,13 @@ func (t *Tracer) BindEngine(eng *sim.Engine) {
 	t.clock = eng.Now
 	if !t.engineHooked {
 		t.engineHooked = true
-		eng.SetHook(func(_ sim.Time, pending int) {
+		eng.SetHook(func(now sim.Time, pending int) {
 			t.eventsFired++
 			if pending > t.pendingHigh {
 				t.pendingHigh = pending
+			}
+			if t.tl != nil && !t.suspended {
+				t.tl.observe(now)
 			}
 		})
 	}
@@ -179,7 +220,7 @@ func (t *Tracer) Emit(name string, attrs ...Attr) {
 	if !t.Enabled() {
 		return
 	}
-	t.recs = append(t.recs, record{kind: recEvent, name: name, start: t.now(), attrs: attrs})
+	t.addRecord(record{kind: recEvent, name: name, start: t.now(), attrs: attrs})
 }
 
 // Metrics returns the tracer's metric set, or nil for a nil tracer. The
@@ -220,7 +261,7 @@ func (s Span) Event(name string, attrs ...Attr) {
 	if s.tr == nil || s.tr.suspended {
 		return
 	}
-	s.tr.recs = append(s.tr.recs, record{
+	s.tr.addRecord(record{
 		kind: recEvent, name: name, parent: s.id, start: s.tr.now(), attrs: attrs,
 	})
 }
@@ -236,7 +277,7 @@ func (s Span) End(attrs ...Attr) {
 	if len(attrs) > 0 {
 		all = append(append([]Attr(nil), s.attrs...), attrs...)
 	}
-	s.tr.recs = append(s.tr.recs, record{
+	s.tr.addRecord(record{
 		kind: recSpan, name: s.name, id: s.id, start: s.start, end: s.tr.now(), attrs: all,
 	})
 }

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"ssdtp/internal/sim"
+)
+
+// Time-windowed telemetry (DESIGN.md §9). A tracer with a timeline configured
+// samples a set of counters and gauges at fixed simulated-time boundaries, so
+// tail-latency onset can be plotted against GC activity and bus saturation.
+// Sampling piggybacks on the engine hook BindEngine installs: the first fired
+// event at or past a boundary triggers the sample, which reads simulation
+// state only — rows are therefore identical across worker counts and between
+// a restored clone and a from-scratch build (the post-preconditioning event
+// streams are identical, and boundaries are anchored to absolute multiples of
+// the interval, not to the first sample).
+
+// TimelineSample is one row of the telemetry timeline. The bound device fills
+// it from its counters; all values are cumulative since device construction
+// except the gauges (DirtyCacheBytes, QueueDepth, GCRunning).
+type TimelineSample struct {
+	HostBytesWritten int64 // host write traffic accepted
+	HostBytesRead    int64 // host read traffic served
+	PagesProgrammed  int64 // NAND pages programmed (host + GC + meta): WAF numerator
+	GCPagesMoved     int64 // live pages relocated by garbage collection
+	DirtyCacheBytes  int64 // write-cache bytes not yet flushed (gauge)
+	QueueDepth       int64 // parked page-ops + admission-stalled requests (gauge)
+	GCRunning        int64 // parallel units currently collecting (gauge)
+	BusBusyNS        int64 // cumulative channel-wire busy time, summed over channels
+	BusWaitNS        int64 // cumulative channel-wire queued time, summed over channels
+}
+
+// timelineFields names the sample columns, in render order.
+var timelineFields = [...]string{
+	"host_bytes_written", "host_bytes_read", "pages_programmed", "gc_pages_moved",
+	"dirty_cache_bytes", "queue_depth", "gc_running", "bus_busy_ns", "bus_wait_ns",
+}
+
+// values returns the sample's fields in timelineFields order.
+func (s *TimelineSample) values() [len(timelineFields)]int64 {
+	return [...]int64{
+		s.HostBytesWritten, s.HostBytesRead, s.PagesProgrammed, s.GCPagesMoved,
+		s.DirtyCacheBytes, s.QueueDepth, s.GCRunning, s.BusBusyNS, s.BusWaitNS,
+	}
+}
+
+// timelineRow is one captured sample with its boundary timestamp.
+type timelineRow struct {
+	t sim.Time
+	s TimelineSample
+}
+
+// timeline is a tracer's sampling state.
+type timeline struct {
+	interval sim.Time
+	sample   func(*TimelineSample)
+	nextAt   sim.Time
+	inited   bool
+	rows     []timelineRow
+}
+
+// observe advances the timeline to now, emitting one row per crossed
+// boundary. The first observation only anchors the next boundary (nothing ran
+// before it that is worth a row); boundaries are absolute multiples of the
+// interval so restored clones and from-scratch builds align.
+func (tl *timeline) observe(now sim.Time) {
+	if tl.sample == nil {
+		return
+	}
+	if !tl.inited {
+		tl.inited = true
+		tl.nextAt = (now/tl.interval + 1) * tl.interval
+		return
+	}
+	for now >= tl.nextAt {
+		var s TimelineSample
+		tl.sample(&s)
+		tl.rows = append(tl.rows, timelineRow{t: tl.nextAt, s: s})
+		tl.nextAt += tl.interval
+	}
+}
+
+// SetTimeline enables timeline sampling every interval of simulated time.
+// Must be set before the device binds its sampler; interval <= 0 disables.
+func (t *Tracer) SetTimeline(interval sim.Time) {
+	if t == nil {
+		return
+	}
+	if interval <= 0 {
+		t.tl = nil
+		return
+	}
+	t.tl = &timeline{interval: interval}
+}
+
+// TimelineInterval returns the configured sampling interval (0 = disabled).
+func (t *Tracer) TimelineInterval() sim.Time {
+	if t == nil || t.tl == nil {
+		return 0
+	}
+	return t.tl.interval
+}
+
+// SetTimelineSampler installs the callback that fills each sample; the device
+// registers one at construction when the tracer has a timeline configured.
+func (t *Tracer) SetTimelineSampler(fn func(*TimelineSample)) {
+	if t == nil || t.tl == nil {
+		return
+	}
+	t.tl.sample = fn
+}
+
+// TimelineRows returns the number of captured timeline rows.
+func (t *Tracer) TimelineRows() int {
+	if t == nil || t.tl == nil {
+		return 0
+	}
+	return len(t.tl.rows)
+}
+
+// WriteTimelineCSV renders the tracer's timeline rows as CSV (with header).
+func (t *Tracer) WriteTimelineCSV(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	if err := writeTimelineHeader(bw); err != nil {
+		return err
+	}
+	if err := t.appendTimelineCSV(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeTimelineHeader writes the CSV header row.
+func writeTimelineHeader(bw *bufio.Writer) error {
+	line := []byte("cell,t_ns")
+	for _, f := range timelineFields {
+		line = append(line, ',')
+		line = append(line, f...)
+	}
+	line = append(line, '\n')
+	_, err := bw.Write(line)
+	return err
+}
+
+// appendTimelineCSV writes the tracer's rows (no header).
+func (t *Tracer) appendTimelineCSV(bw *bufio.Writer) error {
+	if t == nil || t.tl == nil {
+		return nil
+	}
+	var line []byte
+	for i := range t.tl.rows {
+		r := &t.tl.rows[i]
+		line = strconv.AppendQuote(line[:0], t.label)
+		line = append(line, ',')
+		line = strconv.AppendInt(line, r.t, 10)
+		for _, v := range r.s.values() {
+			line = append(line, ',')
+			line = strconv.AppendInt(line, v, 10)
+		}
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTimelineJSONL renders the tracer's timeline rows, one JSON object per
+// line, with the same fixed field order as the CSV columns.
+func (t *Tracer) WriteTimelineJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	if err := t.appendTimelineJSONL(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// appendTimelineJSONL writes the tracer's rows as JSONL.
+func (t *Tracer) appendTimelineJSONL(bw *bufio.Writer) error {
+	if t == nil || t.tl == nil {
+		return nil
+	}
+	var line []byte
+	for i := range t.tl.rows {
+		r := &t.tl.rows[i]
+		line = append(line[:0], `{"cell":`...)
+		line = strconv.AppendQuote(line, t.label)
+		line = append(line, `,"t":`...)
+		line = strconv.AppendInt(line, r.t, 10)
+		vals := r.s.values()
+		for j, f := range timelineFields {
+			line = append(line, ',', '"')
+			line = append(line, f...)
+			line = append(line, '"', ':')
+			line = strconv.AppendInt(line, vals[j], 10)
+		}
+		line = append(line, '}', '\n')
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

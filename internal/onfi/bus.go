@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ssdtp/internal/nand"
+	"ssdtp/internal/obs"
 	"ssdtp/internal/sim"
 )
 
@@ -38,6 +39,13 @@ type Bus struct {
 	// orders their resource-queue entries for snapshot/restore.
 	ops  []*busOp
 	qseq uint64
+
+	// Observability (SetTrace): nand.* spans for per-die Perfetto tracks and
+	// latency-attribution phase marks. Only the untracked operation paths
+	// record spans — tracked (GC/scrub) operations can straddle a snapshot,
+	// and a restored clone must not diverge from a from-scratch build.
+	tr   *obs.Tracer
+	prof *obs.Profiler
 }
 
 // SuspendOverhead is the array-time cost of suspending an in-progress
@@ -67,6 +75,35 @@ func NewBus(eng *sim.Engine, id int, t nand.Timing, chips ...*nand.Chip) *Bus {
 	return b
 }
 
+// SetTrace binds the bus to a tracer: untracked operations record nand.*
+// spans (ch/chip/die-attributed, rendered as per-die tracks by the Perfetto
+// exporter) and charge latency-attribution phases on the request installed
+// via the profiler's per-operation context slot. A nil tracer disables both.
+func (b *Bus) SetTrace(tr *obs.Tracer) {
+	b.tr = tr
+	b.prof = tr.Prof()
+}
+
+// dieWaitPhase classifies time about to be spent queued for a die: waiting
+// out a suspendable background program/erase is GC interference; anything
+// else is foreground channel contention.
+func (b *Bus) dieWaitPhase(chip, die int) obs.Phase {
+	if b.suspendable[chip][die] {
+		return obs.PhaseGCStall
+	}
+	return obs.PhaseChanWait
+}
+
+// beginNandSpan opens a per-die span for an untracked operation, or an inert
+// span when tracing is off.
+func (b *Bus) beginNandSpan(name string, chip, die int) obs.Span {
+	if !b.tr.Enabled() {
+		return obs.Span{}
+	}
+	return b.tr.Begin(name,
+		obs.Int("ch", int64(b.id)), obs.Int("chip", int64(chip)), obs.Int("die", int64(die)))
+}
+
 // ID returns the channel index.
 func (b *Bus) ID() int { return b.id }
 
@@ -81,6 +118,31 @@ func (b *Bus) Stats() BusStats { return b.stats }
 
 // Utilization returns the cumulative time the bus wires were held.
 func (b *Bus) Utilization() sim.Time { return b.wires.BusyTime() }
+
+// WaitTime returns the cumulative time operations spent queued for the
+// channel wires before being granted.
+func (b *Bus) WaitTime() sim.Time { return b.wires.WaitTime() }
+
+// Waits returns the number of wire acquisitions that had to queue.
+func (b *Bus) Waits() int64 { return b.wires.Waits() }
+
+// DieBusyTime returns chip's cumulative die-held time, summed over its dies.
+func (b *Bus) DieBusyTime(chip int) sim.Time {
+	var total sim.Time
+	for _, d := range b.dies[chip] {
+		total += d.BusyTime()
+	}
+	return total
+}
+
+// DieWaitTime returns chip's cumulative die-queue wait, summed over its dies.
+func (b *Bus) DieWaitTime(chip int) sim.Time {
+	var total sim.Time
+	for _, d := range b.dies[chip] {
+		total += d.WaitTime()
+	}
+	return total
+}
 
 // Observe registers an observer for all subsequent bus events and returns a
 // function that detaches it. Attaching an observer is the simulated
@@ -162,25 +224,37 @@ func (b *Bus) ReadPri(chip int, addr nand.Addr, buf []byte, done func(bitErrors 
 		return
 	}
 	// Suspend path: bypass the die queue; command+address+transfer still
-	// serialize on the channel wires.
+	// serialize on the channel wires. The span is named for the exporter's
+	// async track — without a die hold it may overlap the suspended
+	// program's span, so it cannot live on the nested per-die track.
 	c := b.checkChip(chip)
 	g := c.Geometry()
 	bits := c.BitErrors(addr)
+	ax := b.prof.TakeOp()
+	ax.Mark(obs.PhaseChanWait)
+	sp := b.beginNandSpan("nand.read.pri", chip, die)
 	b.wires.Acquire(func() {
+		ax.Mark(obs.PhaseNAND)
 		dur := b.emitCmdAddrAt(chip, die, CmdReadSetup, true, g.RowAddress(addr), 0)
 		dur += b.timing.CmdCycle
 		b.stats.CmdCycles++
 		b.eng.Schedule(dur, func() {
 			b.wires.Release()
 			b.eng.Schedule(SuspendOverhead+b.timing.ReadPage, func() {
+				// The fixed suspend overhead within this interval is GC
+				// interference (the read only pays it because a background
+				// program held the die); the rest is array time.
+				ax.MarkCarved(obs.PhaseGCStall, SuspendOverhead, obs.PhaseChanWait)
 				err := c.Read(addr, buf)
 				n := g.PageSize
 				b.wires.Acquire(func() {
+					ax.Mark(obs.PhaseNAND)
 					xfer := b.timing.TransferTime(n)
 					b.stats.BytesOut += int64(n)
 					b.stats.Reads++
 					b.eng.Schedule(xfer, func() {
 						b.wires.Release()
+						sp.End()
 						if done != nil {
 							done(bits, err)
 						}
@@ -211,8 +285,14 @@ func (b *Bus) programMulti(chip int, addrs []nand.Addr, data [][]byte, tprog sim
 		}
 	}
 	g := c.Geometry()
+	ax := b.prof.TakeOp()
+	ax.Mark(b.dieWaitPhase(chip, die))
+	var sp obs.Span
 	b.dies[chip][die].Acquire(func() {
+		sp = b.beginNandSpan("nand.program", chip, die)
+		ax.Mark(obs.PhaseChanWait)
 		b.wires.Acquire(func() {
+			ax.Mark(obs.PhaseNAND)
 			var dur sim.Time
 			for i, a := range addrs {
 				confirm := CmdProgramConfirm
@@ -252,6 +332,7 @@ func (b *Bus) programMulti(chip int, addrs []nand.Addr, data [][]byte, tprog sim
 					if b.observed() {
 						b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: chip, Die: die, Kind: EventReady})
 					}
+					sp.End()
 					b.dies[chip][die].Release()
 					if done != nil {
 						done(err)
@@ -296,9 +377,15 @@ func (b *Bus) Read(chip int, addr nand.Addr, buf []byte, done func(error)) {
 	c := b.checkChip(chip)
 	g := c.Geometry()
 	die := addr.Die
+	ax := b.prof.TakeOp()
+	ax.Mark(b.dieWaitPhase(chip, die))
+	var sp obs.Span
 	b.dies[chip][die].Acquire(func() {
+		sp = b.beginNandSpan("nand.read", chip, die)
+		ax.Mark(obs.PhaseChanWait)
 		// Phase 1: command + address + confirm, short bus hold.
 		b.wires.Acquire(func() {
+			ax.Mark(obs.PhaseNAND)
 			dur := b.emitCmdAddrAt(chip, die, CmdReadSetup, true, g.RowAddress(addr), 0)
 			if b.observed() {
 				b.emit(BusEvent{Time: b.eng.Now() + dur, Bus: b.id, Chip: chip, Die: die, Kind: EventCmd, Byte: CmdReadConfirm})
@@ -317,7 +404,9 @@ func (b *Bus) Read(chip int, addr nand.Addr, buf []byte, done func(error)) {
 						b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: chip, Die: die, Kind: EventReady})
 					}
 					n := g.PageSize
+					ax.Mark(obs.PhaseChanWait)
 					b.wires.Acquire(func() {
+						ax.Mark(obs.PhaseNAND)
 						xfer := b.timing.TransferTime(n)
 						if b.observed() {
 							b.emit(BusEvent{Time: b.eng.Now(), Dur: xfer, Bus: b.id, Chip: chip, Die: die, Kind: EventDataOut, Len: n})
@@ -326,6 +415,7 @@ func (b *Bus) Read(chip int, addr nand.Addr, buf []byte, done func(error)) {
 						b.stats.Reads++
 						b.eng.Schedule(xfer, func() {
 							b.wires.Release()
+							sp.End()
 							b.dies[chip][die].Release()
 							if done != nil {
 								done(err)
@@ -357,8 +447,14 @@ func (b *Bus) Erase(chip int, addr nand.Addr, done func(error)) {
 	c := b.checkChip(chip)
 	g := c.Geometry()
 	die := addr.Die
+	ax := b.prof.TakeOp()
+	ax.Mark(b.dieWaitPhase(chip, die))
+	var sp obs.Span
 	b.dies[chip][die].Acquire(func() {
+		sp = b.beginNandSpan("nand.erase", chip, die)
+		ax.Mark(obs.PhaseChanWait)
 		b.wires.Acquire(func() {
+			ax.Mark(obs.PhaseNAND)
 			dur := b.emitCmdAddrAt(chip, die, CmdEraseSetup, false, g.RowAddress(addr), 0)
 			if b.observed() {
 				b.emit(BusEvent{Time: b.eng.Now() + dur, Bus: b.id, Chip: chip, Die: die, Kind: EventCmd, Byte: CmdEraseConfirm})
@@ -376,6 +472,7 @@ func (b *Bus) Erase(chip int, addr nand.Addr, done func(error)) {
 					if b.observed() {
 						b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: chip, Die: die, Kind: EventReady})
 					}
+					sp.End()
 					b.dies[chip][die].Release()
 					if done != nil {
 						done(err)

@@ -61,6 +61,7 @@ type busOp struct {
 	err         error // commit error, set at the array-done phase
 	suspendable bool  // erase: issued background (erase-suspend armed)
 	qseq        uint64
+	enq         sim.Time // queue-entry time of the current queue phase
 	ev          sim.Event
 	tag         any
 	idx         int // slot in Bus.ops
@@ -99,12 +100,14 @@ func (b *Bus) ReadTracked(chip int, addr nand.Addr, tag any, done func(bitErrors
 	b.registerOp(op)
 	op.phase = OpDieQueue
 	op.qseq = b.nextQSeq()
+	op.enq = b.eng.Now()
 	b.dies[chip][addr.Die].Acquire(op.readDieGranted)
 }
 
 func (op *busOp) readDieGranted() {
 	op.phase = OpWireQueue1
 	op.qseq = op.b.nextQSeq()
+	op.enq = op.b.eng.Now()
 	op.b.wires.Acquire(op.readWiresGranted)
 }
 
@@ -140,6 +143,7 @@ func (op *busOp) readArrayDone() {
 	}
 	op.phase = OpWireQueue2
 	op.qseq = b.nextQSeq()
+	op.enq = b.eng.Now()
 	b.wires.Acquire(op.readXferGranted)
 }
 
@@ -178,12 +182,14 @@ func (b *Bus) EraseTracked(chip int, addr nand.Addr, background bool, tag any, d
 	b.registerOp(op)
 	op.phase = OpDieQueue
 	op.qseq = b.nextQSeq()
+	op.enq = b.eng.Now()
 	b.dies[chip][addr.Die].Acquire(op.eraseDieGranted)
 }
 
 func (op *busOp) eraseDieGranted() {
 	op.phase = OpWireQueue1
 	op.qseq = op.b.nextQSeq()
+	op.enq = op.b.eng.Now()
 	op.b.wires.Acquire(op.eraseWiresGranted)
 }
 
@@ -244,6 +250,7 @@ type OpState struct {
 	Err         error
 	Suspendable bool
 	QSeq        uint64
+	EnqueuedAt  sim.Time // queue phases: when the op joined its queue
 	EventTime   sim.Time
 	EventSeq    uint64
 	Tag         any
@@ -264,7 +271,8 @@ func (b *Bus) SnapshotOps() []OpState {
 	for _, op := range b.ops {
 		st := OpState{
 			Ch: b.id, Kind: op.kind, Chip: op.chip, Addr: op.addr, Phase: op.phase,
-			Bits: op.bits, Err: op.err, Suspendable: op.suspendable, QSeq: op.qseq, Tag: op.tag,
+			Bits: op.bits, Err: op.err, Suspendable: op.suspendable, QSeq: op.qseq,
+			EnqueuedAt: op.enq, Tag: op.tag,
 		}
 		if !op.phase.queued() {
 			if !op.ev.Pending() {
@@ -291,7 +299,8 @@ func (b *Bus) ResumeOp(st OpState, readDone func(bitErrors int, err error), eras
 	}
 	op := &busOp{
 		b: b, kind: st.Kind, chip: st.Chip, addr: st.Addr, phase: st.Phase,
-		bits: st.Bits, err: st.Err, suspendable: st.Suspendable, qseq: st.QSeq, tag: st.Tag,
+		bits: st.Bits, err: st.Err, suspendable: st.Suspendable, qseq: st.QSeq,
+		enq: st.EnqueuedAt, tag: st.Tag,
 		readDone: readDone, eraseDone: eraseDone,
 	}
 	if st.QSeq > b.qseq {
@@ -307,17 +316,20 @@ func (b *Bus) ResumeOp(st OpState, readDone func(bitErrors int, err error), eras
 		if !r.Busy() {
 			panic("onfi: ResumeOp queue phase on an idle resource")
 		}
+		// AcquireSince keeps the resource's wait accounting identical to a
+		// from-scratch run: the wait charged at grant spans from the op's
+		// original enqueue time, not from the restore instant.
 		switch {
 		case st.Phase == OpDieQueue && st.Kind == OpRead:
-			r.Acquire(op.readDieGranted)
+			r.AcquireSince(st.EnqueuedAt, op.readDieGranted)
 		case st.Phase == OpDieQueue:
-			r.Acquire(op.eraseDieGranted)
+			r.AcquireSince(st.EnqueuedAt, op.eraseDieGranted)
 		case st.Phase == OpWireQueue1 && st.Kind == OpRead:
-			r.Acquire(op.readWiresGranted)
+			r.AcquireSince(st.EnqueuedAt, op.readWiresGranted)
 		case st.Phase == OpWireQueue1:
-			r.Acquire(op.eraseWiresGranted)
+			r.AcquireSince(st.EnqueuedAt, op.eraseWiresGranted)
 		case st.Phase == OpWireQueue2 && st.Kind == OpRead:
-			r.Acquire(op.readXferGranted)
+			r.AcquireSince(st.EnqueuedAt, op.readXferGranted)
 		default:
 			panic("onfi: ResumeOp invalid queued phase")
 		}
@@ -344,13 +356,18 @@ func (b *Bus) ResumeOp(st OpState, readDone func(bitErrors int, err error), eras
 // ResourceState is the utilization accounting of one sim.Resource at
 // snapshot time.
 type ResourceState struct {
-	Busy  bool
-	Since sim.Time
-	Total sim.Time
+	Busy      bool
+	Since     sim.Time
+	Total     sim.Time
+	WaitTotal sim.Time
+	Waits     int64
 }
 
 func captureResource(r *sim.Resource) ResourceState {
-	return ResourceState{Busy: r.Busy(), Since: r.BusySince, Total: r.BusyTime()}
+	return ResourceState{
+		Busy: r.Busy(), Since: r.BusySince, Total: r.BusyTime(),
+		WaitTotal: r.WaitTime(), Waits: r.Waits(),
+	}
 }
 
 // BusState is a deep copy of a channel's mutable state, excluding tracked
@@ -393,14 +410,14 @@ func (b *Bus) Restore(st *BusState) {
 		panic("onfi: Restore chip-count mismatch")
 	}
 	b.stats = st.Stats
-	b.wires.RestoreUsage(st.Wires.Busy, st.Wires.Since, st.Wires.Total)
+	b.wires.RestoreUsage(st.Wires.Busy, st.Wires.Since, st.Wires.Total, st.Wires.WaitTotal, st.Wires.Waits)
 	for i := range b.dies {
 		if len(st.Dies[i]) != len(b.dies[i]) {
 			panic("onfi: Restore die-count mismatch")
 		}
 		for d, r := range b.dies[i] {
 			ds := st.Dies[i][d]
-			r.RestoreUsage(ds.Busy, ds.Since, ds.Total)
+			r.RestoreUsage(ds.Busy, ds.Since, ds.Total, ds.WaitTotal, ds.Waits)
 		}
 		copy(b.suspendable[i], st.Suspendable[i])
 	}

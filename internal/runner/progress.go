@@ -1,0 +1,131 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// trackerWindow is how many recent cell completions the throughput estimate
+// looks back over. A sliding window tracks the *current* rate — cells often
+// get slower as a sweep progresses (bigger configurations later in the grid)
+// and a whole-run average would then overstate the remaining throughput.
+const trackerWindow = 16
+
+// Tracker aggregates Pool progress events into live throughput and ETA
+// figures. Feed it from Pool.Progress (wrap or chain your own callback); read
+// it from anywhere — it has its own lock, so the ops endpoint's /progress
+// handler can snapshot it while workers are mid-run.
+type Tracker struct {
+	mu        sync.Mutex
+	total     int
+	done      int
+	running   int
+	started   bool
+	startTime time.Time
+	lastLabel string
+	// gridTotal/gridDone track the Map call currently in flight. A run is a
+	// sequence of Map calls (one per experiment grid), so the run-wide total
+	// accumulates each grid's size as its first event arrives; without this,
+	// done would outgrow total as soon as a second grid started.
+	gridTotal int
+	gridDone  int
+	// finishes holds the wall-clock times of the most recent completions
+	// (ring of trackerWindow entries).
+	finishes []time.Time
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker { return &Tracker{} }
+
+// Observe folds one pool event into the tracker. Safe for concurrent use.
+func (t *Tracker) Observe(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		t.started = true
+		t.startTime = time.Now()
+	}
+	// Detect the start of a new grid: the first event ever, an event whose
+	// Total differs from the in-flight grid's, or a CellStart arriving after
+	// the in-flight grid fully completed (Map calls are sequential, so a
+	// same-sized follow-up grid is only distinguishable this way).
+	if t.gridTotal == 0 || ev.Total != t.gridTotal ||
+		(t.gridDone == t.gridTotal && ev.Kind == CellStart) {
+		t.total += ev.Total
+		t.gridTotal = ev.Total
+		t.gridDone = 0
+	}
+	switch ev.Kind {
+	case CellStart:
+		t.running++
+	case CellDone:
+		t.running--
+		t.done++
+		t.gridDone++
+		t.lastLabel = ev.Label
+		t.finishes = append(t.finishes, time.Now())
+		if len(t.finishes) > trackerWindow {
+			t.finishes = t.finishes[1:]
+		}
+	}
+}
+
+// Snapshot is a point-in-time view of a Tracker, shaped for the /progress
+// JSON endpoint.
+type Snapshot struct {
+	Total       int     `json:"total"`
+	Done        int     `json:"done"`
+	Running     int     `json:"running"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	ETASec      float64 `json:"eta_sec"`
+	LastLabel   string  `json:"last_label,omitempty"`
+}
+
+// Snapshot returns the current progress view. Rate is estimated over the
+// sliding completion window (falling back to the whole-run average while the
+// window holds fewer than two completions); ETA is remaining cells over that
+// rate, 0 when it cannot be estimated yet or the run is complete.
+func (t *Tracker) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Snapshot{Total: t.total, Done: t.done, Running: t.running, LastLabel: t.lastLabel}
+	if t.started {
+		s.ElapsedSec = time.Since(t.startTime).Seconds()
+	}
+	switch {
+	case len(t.finishes) >= 2:
+		span := t.finishes[len(t.finishes)-1].Sub(t.finishes[0]).Seconds()
+		if span > 0 {
+			s.CellsPerSec = float64(len(t.finishes)-1) / span
+		}
+	case t.done > 0 && s.ElapsedSec > 0:
+		s.CellsPerSec = float64(t.done) / s.ElapsedSec
+	}
+	if remaining := t.total - t.done; remaining > 0 && s.CellsPerSec > 0 {
+		s.ETASec = float64(remaining) / s.CellsPerSec
+	}
+	return s
+}
+
+// Suffix renders the snapshot as a short progress-line tail like
+// " 3.2 cells/s, ETA 42s", or "" while no rate is estimable. CLI progress
+// printers append it to their per-cell lines.
+func (t *Tracker) Suffix() string {
+	s := t.Snapshot()
+	if s.CellsPerSec <= 0 {
+		return ""
+	}
+	out := fmt.Sprintf(" %.2f cells/s", s.CellsPerSec)
+	if s.ETASec > 0 {
+		out += fmt.Sprintf(", ETA %s", (time.Duration(s.ETASec * float64(time.Second))).Round(time.Second))
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package runner
+
+import "testing"
+
+func feedGrid(t *Tracker, total int, labels ...string) {
+	for i, l := range labels {
+		t.Observe(Event{Kind: CellStart, Index: i, Total: total, Label: l})
+		t.Observe(Event{Kind: CellDone, Index: i, Total: total, Label: l})
+	}
+}
+
+// A run is a sequence of Map calls; the tracker must accumulate each grid's
+// size into the run-wide total so done never outgrows it.
+func TestTrackerAccumulatesAcrossGrids(t *testing.T) {
+	tr := NewTracker()
+	feedGrid(tr, 2, "a/0", "a/1")
+	if s := tr.Snapshot(); s.Total != 2 || s.Done != 2 {
+		t.Fatalf("after grid A: total=%d done=%d, want 2/2", s.Total, s.Done)
+	}
+	feedGrid(tr, 3, "b/0", "b/1", "b/2")
+	s := tr.Snapshot()
+	if s.Total != 5 || s.Done != 5 {
+		t.Fatalf("after grid B: total=%d done=%d, want 5/5", s.Total, s.Done)
+	}
+	if s.Running != 0 {
+		t.Fatalf("running = %d, want 0", s.Running)
+	}
+	if s.LastLabel != "b/2" {
+		t.Fatalf("last label = %q, want b/2", s.LastLabel)
+	}
+	if s.ETASec != 0 {
+		t.Fatalf("ETA = %v with no work remaining, want 0", s.ETASec)
+	}
+}
+
+// Two consecutive grids of the same size are only distinguishable by a
+// CellStart arriving after the previous grid completed.
+func TestTrackerSameSizeGrids(t *testing.T) {
+	tr := NewTracker()
+	feedGrid(tr, 2, "a/0", "a/1")
+	feedGrid(tr, 2, "b/0", "b/1")
+	if s := tr.Snapshot(); s.Total != 4 || s.Done != 4 {
+		t.Fatalf("total=%d done=%d, want 4/4", s.Total, s.Done)
+	}
+}
+
+// Mid-grid, done must stay below the accumulated total and running must
+// count in-flight cells, so /progress renders a sane fraction.
+func TestTrackerMidGrid(t *testing.T) {
+	tr := NewTracker()
+	feedGrid(tr, 4, "a/0", "a/1")
+	tr.Observe(Event{Kind: CellStart, Index: 2, Total: 4, Label: "a/2"})
+	s := tr.Snapshot()
+	if s.Total != 4 || s.Done != 2 || s.Running != 1 {
+		t.Fatalf("total=%d done=%d running=%d, want 4/2/1", s.Total, s.Done, s.Running)
+	}
+}
+
+// A nil tracker is inert: Observe is a no-op and Snapshot is zero.
+func TestTrackerNil(t *testing.T) {
+	var tr *Tracker
+	tr.Observe(Event{Kind: CellDone, Total: 1})
+	if s := tr.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("nil snapshot = %+v, want zero", s)
+	}
+	if tr.Suffix() != "" {
+		t.Fatal("nil suffix non-empty")
+	}
+}

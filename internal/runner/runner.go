@@ -89,8 +89,14 @@ func Cell[T any](label string, run func() T) Task[T] {
 // is free; either way the cell's observability stream is keyed by its label,
 // not by execution order, preserving the determinism contract. The label
 // must be unique within the collector or cells would interleave records.
+// When the cell's function returns, the cell is marked done on the collector
+// so live exports (the ops endpoint's /metrics) may render it.
 func TracedCell[T any](col *obs.Collector, label string, run func(tr *obs.Tracer) T) Task[T] {
-	return Task[T]{Label: label, Run: func() T { return run(col.Cell(label)) }}
+	return Task[T]{Label: label, Run: func() T {
+		v := run(col.Cell(label))
+		col.MarkDone(label)
+		return v
+	}}
 }
 
 // workers resolves the effective worker count for n cells. A nil pool runs

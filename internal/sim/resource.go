@@ -10,7 +10,7 @@ type Resource struct {
 	// waiters[head:] are the queued callbacks in FIFO order. The head index
 	// avoids the O(n) shift per grant that a slice-pop would cost on deep
 	// queues; the array compacts whenever it fully drains.
-	waiters []func()
+	waiters []waiter
 	head    int
 	// granting marks an active hand-off loop in Release, so a Release from
 	// inside a granted callback unwinds instead of recursing.
@@ -19,6 +19,17 @@ type Resource struct {
 	// for utilization accounting.
 	BusySince Time
 	busyTotal Time
+	// Wait accounting: cumulative queued time, charged at grant for every
+	// acquisition that could not be granted immediately.
+	waitTotal Time
+	waits     int64
+}
+
+// waiter is one queued acquisition: the grant callback plus the time it
+// joined the queue, so the grant can charge the wait to contention accounting.
+type waiter struct {
+	fn    func()
+	since Time
 }
 
 // NewResource returns an idle resource bound to eng.
@@ -35,9 +46,27 @@ func (r *Resource) QueueLen() int { return len(r.waiters) - r.head }
 // BusyTime returns the cumulative simulated time the resource has been held.
 func (r *Resource) BusyTime() Time { return r.busyTotal }
 
+// WaitTime returns the cumulative simulated time acquisitions spent queued
+// behind other holders before being granted. Immediate grants contribute
+// nothing; time spent by waiters still queued is not yet counted.
+func (r *Resource) WaitTime() Time { return r.waitTotal }
+
+// Waits returns the number of acquisitions that had to queue (the divisor
+// for an average wait; immediate grants are not counted).
+func (r *Resource) Waits() int64 { return r.waits }
+
 // Acquire runs fn as soon as the resource is free (immediately if idle).
 // fn runs synchronously when the resource is granted; do not block in it.
 func (r *Resource) Acquire(fn func()) {
+	r.AcquireSince(r.eng.Now(), fn)
+}
+
+// AcquireSince is Acquire with an explicit queue-entry time for wait
+// accounting. Restore paths use it to reinstate waiters captured in a
+// snapshot with their original enqueue time, so WaitTime matches a
+// from-scratch run; everything else should use Acquire. If the grant is
+// immediate, since is irrelevant (no wait is charged).
+func (r *Resource) AcquireSince(since Time, fn func()) {
 	// Grant immediately only when nothing is queued ahead; an idle resource
 	// with waiters exists transiently inside Release's hand-off loop, and
 	// jumping the queue there would break FIFO order.
@@ -47,7 +76,7 @@ func (r *Resource) Acquire(fn func()) {
 		fn()
 		return
 	}
-	r.waiters = append(r.waiters, fn)
+	r.waiters = append(r.waiters, waiter{fn: fn, since: since})
 }
 
 // Release frees the resource and grants it to the next waiter, if any.
@@ -70,7 +99,7 @@ func (r *Resource) Release() {
 	r.granting = true
 	for !r.busy && r.head < len(r.waiters) {
 		next := r.waiters[r.head]
-		r.waiters[r.head] = nil
+		r.waiters[r.head] = waiter{}
 		r.head++
 		if r.head == len(r.waiters) {
 			r.waiters = r.waiters[:0]
@@ -78,7 +107,9 @@ func (r *Resource) Release() {
 		}
 		r.busy = true
 		r.BusySince = r.eng.Now()
-		next()
+		r.waitTotal += r.eng.Now() - next.since
+		r.waits++
+		next.fn()
 	}
 	r.granting = false
 }

@@ -37,17 +37,21 @@ func (ev Event) Seq() uint64 {
 }
 
 // RestoreUsage overwrites the resource's utilization accounting with captured
-// values: whether it is held, since when, and the cumulative held time before
-// that. It is a restore-time primitive only — the resource must have no
-// holder and no waiters, i.e. be freshly constructed. The caller re-acquires
-// on behalf of the restored holders afterward, which overwrites BusySince
-// with the (identical) grant time; RestoreUsage(busy=true, ...) exists for
+// values: whether it is held, since when, the cumulative held time before
+// that, and the cumulative wait accounting. It is a restore-time primitive
+// only — the resource must have no holder and no waiters, i.e. be freshly
+// constructed. The caller re-acquires on behalf of the restored holders
+// afterward (via AcquireSince, so the waits they complete after restore are
+// charged from their original enqueue times), which overwrites BusySince with
+// the (identical) grant time; RestoreUsage(busy=true, ...) exists for
 // completeness when a holder is reinstated out-of-band.
-func (r *Resource) RestoreUsage(busy bool, since, total Time) {
+func (r *Resource) RestoreUsage(busy bool, since, total, waitTotal Time, waits int64) {
 	if r.busy || len(r.waiters) != 0 {
 		panic("sim: RestoreUsage on a resource in use")
 	}
 	r.busy = busy
 	r.BusySince = since
 	r.busyTotal = total
+	r.waitTotal = waitTotal
+	r.waits = waits
 }

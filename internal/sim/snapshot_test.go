@@ -62,7 +62,7 @@ func TestRestoreUsage(t *testing.T) {
 	e := NewEngine()
 	e.Rebase(10 * Millisecond)
 	r := NewResource(e)
-	r.RestoreUsage(false, 0, 3*Millisecond)
+	r.RestoreUsage(false, 0, 3*Millisecond, 0, 0)
 	if r.Busy() || r.BusyTime() != 3*Millisecond {
 		t.Fatalf("restore mismatch: busy=%v total=%d", r.Busy(), r.BusyTime())
 	}
@@ -79,7 +79,10 @@ func TestRestoreUsageBusyHolder(t *testing.T) {
 	e := NewEngine()
 	e.Rebase(10 * Millisecond)
 	r := NewResource(e)
-	r.RestoreUsage(true, 4*Millisecond, Millisecond)
+	r.RestoreUsage(true, 4*Millisecond, Millisecond, 2*Millisecond, 3)
+	if r.WaitTime() != 2*Millisecond || r.Waits() != 3 {
+		t.Fatalf("wait restore mismatch: waitTotal=%d waits=%d", r.WaitTime(), r.Waits())
+	}
 	if !r.Busy() || r.BusySince != 4*Millisecond {
 		t.Fatal("busy restore mismatch")
 	}
@@ -100,5 +103,5 @@ func TestRestoreUsagePanicsInUse(t *testing.T) {
 			t.Fatal("RestoreUsage on held resource must panic")
 		}
 	}()
-	r.RestoreUsage(false, 0, 0)
+	r.RestoreUsage(false, 0, 0, 0, 0)
 }

@@ -15,6 +15,7 @@ package ssd
 import (
 	"ssdtp/internal/ftl"
 	"ssdtp/internal/nand"
+	"ssdtp/internal/obs"
 	"ssdtp/internal/onfi"
 	"ssdtp/internal/sim"
 )
@@ -181,6 +182,14 @@ func (a *Array) WearStats() (maxErase int, totalErases int64) {
 
 // Bus returns channel ch's bus, the attachment point for hardware probes.
 func (a *Array) Bus(ch int) *onfi.Bus { return a.buses[ch] }
+
+// SetTrace binds every channel bus to tr for nand.* spans and latency
+// attribution (see onfi.Bus.SetTrace).
+func (a *Array) SetTrace(tr *obs.Tracer) {
+	for _, b := range a.buses {
+		b.SetTrace(tr)
+	}
+}
 
 // Chip returns the chip at (channel, way), for teardown-style inspection.
 func (a *Array) Chip(ch, w int) *nand.Chip { return a.chips[ch][w] }

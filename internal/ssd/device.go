@@ -59,7 +59,8 @@ type Device struct {
 	cfg   Config
 	array *Array
 	fl    *ftl.FTL
-	tr    *obs.Tracer // nil when tracing is off
+	tr    *obs.Tracer   // nil when tracing is off
+	prof  *obs.Profiler // latency attribution; nil when tracing is off
 
 	sectorSize int
 	content    map[int64][]byte // sector payloads when StoreContent
@@ -103,18 +104,43 @@ func NewDevice(eng *sim.Engine, cfg Config) *Device {
 		Reliability:     cfg.Reliability,
 		WearLimit:       cfg.WearLimit,
 	})
+	array.SetTrace(cfg.Trace)
 	d := &Device{
 		eng:        eng,
 		cfg:        cfg,
 		array:      array,
 		fl:         ftl.New(eng, array, fcfg),
 		tr:         cfg.Trace,
+		prof:       cfg.Trace.Prof(),
 		sectorSize: fcfg.SectorSize,
 	}
 	if cfg.StoreContent {
 		d.content = make(map[int64][]byte)
 	}
+	cfg.Trace.SetTimelineSampler(d.sampleTimeline)
 	return d
+}
+
+// sampleTimeline fills one time-windowed telemetry sample from the device's
+// ground-truth state; the tracer invokes it at each interval boundary while a
+// timeline is configured (see obs.Tracer.SetTimeline).
+func (d *Device) sampleTimeline(s *obs.TimelineSample) {
+	c := d.fl.Counters()
+	s.HostBytesWritten = d.hostBytesWritten
+	s.HostBytesRead = d.hostBytesRead
+	s.PagesProgrammed = c.PagesProgrammed()
+	s.GCPagesMoved = c.GCPagesProgrammed
+	s.DirtyCacheBytes = d.fl.DirtyCacheBytes()
+	s.QueueDepth = d.fl.BacklogDepth()
+	s.GCRunning = d.fl.GCRunningPUs()
+	var busy, wait sim.Time
+	for ch := 0; ch < d.cfg.Channels; ch++ {
+		b := d.array.Bus(ch)
+		busy += b.Utilization()
+		wait += b.WaitTime()
+	}
+	s.BusBusyNS = int64(busy)
+	s.BusWaitNS = int64(wait)
 }
 
 // Engine returns the simulation engine the device runs on.
@@ -124,15 +150,26 @@ func (d *Device) Engine() *sim.Engine { return d.eng }
 // above the device (hostif) can annotate the same trace stream.
 func (d *Device) Tracer() *obs.Tracer { return d.tr }
 
-// traceRequest opens a request-lifecycle span and returns a completion
-// callback that closes it before running done. With tracing off it returns
-// done unchanged and an inert span — the hot path pays one Enabled check.
-func (d *Device) traceRequest(name string, off, length int64, done func()) (obs.Span, func()) {
+// traceRequest opens a request-lifecycle span plus a latency-attribution
+// record and returns a completion callback that ends both before running
+// done. The attribution record is adopted from the host interface's hand-off
+// slot when one is parked there (so host-queue time is preserved), otherwise
+// begun fresh in the dispatch phase — experiments that drive the device
+// directly still get full decomposition. With tracing off it returns done
+// unchanged and inert handles — the hot path pays one Enabled check.
+func (d *Device) traceRequest(name string, off, length int64, done func()) (obs.Span, *obs.ReqAttr, func()) {
 	if !d.tr.Enabled() {
-		return obs.Span{}, done
+		return obs.Span{}, nil, done
+	}
+	attr := d.prof.TakeHandoff()
+	if attr == nil {
+		attr = d.prof.BeginReq(obs.PhaseDispatch)
+	} else {
+		attr.Mark(obs.PhaseDispatch)
 	}
 	sp := d.tr.Begin(name, obs.Int("off", off), obs.Int("len", length))
-	return sp, func() {
+	return sp, attr, func() {
+		attr.End()
 		sp.End()
 		if done != nil {
 			done()
@@ -208,10 +245,13 @@ func (d *Device) WriteAsync(off int64, data []byte, length int64, done func()) e
 	d.hostBytesWritten += length
 	lsn := off / int64(d.sectorSize)
 	count := int(length / int64(d.sectorSize))
-	sp, complete := d.traceRequest("ssd.write", off, length, done)
+	sp, attr, complete := d.traceRequest("ssd.write", off, length, done)
 	d.eng.Schedule(d.cfg.HostOverhead, func() {
 		sp.Event("ftl.dispatch")
-		if err := d.fl.Write(lsn, count, complete); err != nil {
+		d.prof.SetCur(attr)
+		err := d.fl.Write(lsn, count, complete)
+		d.prof.SetCur(nil)
+		if err != nil {
 			panic(err) // range was validated above; this is a model bug
 		}
 	})
@@ -240,10 +280,13 @@ func (d *Device) ReadAsync(off int64, buf []byte, length int64, done func()) err
 	d.hostBytesRead += length
 	lsn := off / int64(d.sectorSize)
 	count := int(length / int64(d.sectorSize))
-	sp, complete := d.traceRequest("ssd.read", off, length, done)
+	sp, attr, complete := d.traceRequest("ssd.read", off, length, done)
 	d.eng.Schedule(d.cfg.HostOverhead, func() {
 		sp.Event("ftl.dispatch")
-		if err := d.fl.Read(lsn, count, complete); err != nil {
+		d.prof.SetCur(attr)
+		err := d.fl.Read(lsn, count, complete)
+		d.prof.SetCur(nil)
+		if err != nil {
 			panic(err)
 		}
 	})
@@ -262,7 +305,7 @@ func (d *Device) TrimAsync(off, length int64, done func()) error {
 	}
 	lsn := off / int64(d.sectorSize)
 	count := int(length / int64(d.sectorSize))
-	sp, complete := d.traceRequest("ssd.trim", off, length, done)
+	sp, _, complete := d.traceRequest("ssd.trim", off, length, done)
 	d.eng.Schedule(d.cfg.HostOverhead, func() {
 		sp.Event("ftl.dispatch")
 		if err := d.fl.Trim(lsn, count); err != nil {
@@ -285,9 +328,10 @@ func (d *Device) FlushAsync(done func()) error {
 		return ErrFlushBacklog
 	}
 	d.inflightFlushes++
-	sp, complete := d.traceRequest("ssd.flush", 0, 0, done)
+	sp, attr, complete := d.traceRequest("ssd.flush", 0, 0, done)
 	d.eng.Schedule(d.cfg.HostOverhead, func() {
 		sp.Event("ftl.dispatch")
+		attr.Mark(obs.PhaseCacheStall) // a flush *is* cache-drain stall time
 		d.fl.Flush(func() {
 			d.inflightFlushes--
 			if complete != nil {
@@ -365,6 +409,18 @@ func (d *Device) PublishMetrics(tr *obs.Tracer) {
 	m.Set("ssdtp_ftl_wear_level_relocations_total", c.WearLevelRelocations)
 	m.Set("ssdtp_ftl_free_blocks", int64(d.fl.FreeBlocks()))
 	m.Set("ssdtp_ftl_valid_sectors", d.fl.ValidSectors())
+	for ch := 0; ch < d.cfg.Channels; ch++ {
+		b := d.array.Bus(ch)
+		pre := fmt.Sprintf("ssdtp_bus_ch%d", ch)
+		m.Set(pre+"_busy_ns", int64(b.Utilization()))
+		m.Set(pre+"_wait_ns", int64(b.WaitTime()))
+		m.Set(pre+"_waits_total", b.Waits())
+		for w := 0; w < d.cfg.ChipsPerChannel; w++ {
+			cpre := fmt.Sprintf("%s_chip%d", pre, w)
+			m.Set(cpre+"_die_busy_ns", int64(b.DieBusyTime(w)))
+			m.Set(cpre+"_die_wait_ns", int64(b.DieWaitTime(w)))
+		}
+	}
 }
 
 // NANDPageTicks returns the combined host+FTL "NAND Pages" counter, the
