@@ -12,11 +12,11 @@ vet:
 	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
 
 bench:
-	scripts/bench.sh BENCH_5.json
+	scripts/bench.sh BENCH_6.json
 
 # Gate the scheduler/stats hot paths against the previous committed baseline.
 bench-diff:
-	$(GO) run ./cmd/benchdiff -filter 'BenchmarkEngine|BenchmarkRecorder' BENCH_4.json BENCH_5.json
+	$(GO) run ./cmd/benchdiff -filter 'BenchmarkEngine|BenchmarkRecorder' BENCH_5.json BENCH_6.json
 
 reproduce:
 	$(GO) run ./cmd/reproduce

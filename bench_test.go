@@ -226,6 +226,20 @@ func BenchmarkAblationMapCache(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetTail regenerates the fleet experiment (32 drives at Quick
+// scale, both placement policies as parallel cells, four tenants each) and
+// reports the headline isolation contrast: how many tenants see zero GC
+// blast radius under each policy.
+func BenchmarkFleetTail(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.FleetTail(experiments.Quick, int64(i)+1)
+		si, _ := res.Isolated("stripe")
+		hi, _ := res.Isolated("hash")
+		b.ReportMetric(float64(si), "stripe-isolated")
+		b.ReportMetric(float64(hi), "hash-isolated")
+	}
+}
+
 func BenchmarkTabS2ProbeRate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res := experiments.TabS2ProbeRate(experiments.Quick, int64(i)+1)

@@ -6,7 +6,8 @@
 // -parallel value; progress lines and per-cell wall-clock timings go to
 // stderr so redirected output stays clean.
 //
-// With -trace FILE the traced experiments (fig3, tabS3, tabS4) also emit a
+// With -trace FILE the traced experiments (fig3, fleet, tabS3, tabS4) also
+// emit a
 // JSONL span stream, with -trace-perfetto FILE a Chrome trace-event JSON
 // document loadable in Perfetto/chrome://tracing, with -timeline FILE a
 // time-windowed telemetry CSV (sampled every -timeline-ms of simulated
@@ -25,7 +26,7 @@
 //
 // Usage:
 //
-//	reproduce [-run fig1,fig2,fig3,fig4a,fig4b,fig5,fig6|all] [-full] [-seed N] [-parallel N] [-quiet] [-trace FILE] [-trace-perfetto FILE] [-trace-cap N] [-timeline FILE] [-timeline-ms N] [-metrics FILE] [-http ADDR] [-snapshot-cache=false]
+//	reproduce [-run fig1,fig2,fig3,fig4a,fig4b,fig5,fig6,fleet|all] [-full] [-seed N] [-parallel N] [-quiet] [-trace FILE] [-trace-perfetto FILE] [-trace-cap N] [-timeline FILE] [-timeline-ms N] [-metrics FILE] [-http ADDR] [-snapshot-cache=false]
 package main
 
 import (
@@ -44,7 +45,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (fig1,fig2,fig3,fig4a,fig4b,fig5,fig6,tabS2,tabS3,tabS4,tabS5,tabS6,tabS7,tabS8)")
+	run := flag.String("run", "all", "comma-separated experiment ids (fig1,fig2,fig3,fig4a,fig4b,fig5,fig6,fleet,tabS2,tabS3,tabS4,tabS5,tabS6,tabS7,tabS8)")
 	full := flag.Bool("full", false, "full scale (slower, tighter statistics)")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	csvDir := flag.String("csv", "", "also write plottable CSV series into this directory")
@@ -219,6 +220,20 @@ func main() {
 	}
 	if section("fig5", "signal diagram of a flash command (OCZ Vertex II)") {
 		fmt.Print(experiments.Fig5SignalTrace(scale, *seed).Table())
+	}
+	if section("fleet", "fleet scale: per-tenant tails and GC blast radius by placement") {
+		fl := experiments.FleetTail(scale, *seed)
+		fmt.Print(fl.Table())
+		writeCSV("fleet_tenants.csv",
+			"policy,tenant,drives,shared_drives,requests,p50_ns,p99_ns,p999_ns,tail_gc_share_ppm,blast_radius_ppm",
+			func(w *os.File) {
+				for _, ft := range fl.Tenants {
+					r := ft.Report
+					fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d\n",
+						ft.Policy, r.Tenant, r.Drives, r.SharedDrives, r.Requests,
+						r.P50, r.P99, r.P999, r.TailGCSharePPM, r.BlastPPM)
+				}
+			})
 	}
 	if section("tabS2", "probe-equipment study: decode fidelity vs sampling rate") {
 		fmt.Print(experiments.TabS2ProbeRate(scale, *seed).Table())

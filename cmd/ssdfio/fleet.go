@@ -1,0 +1,202 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ssdtp/internal/fleet"
+	"ssdtp/internal/obs"
+	"ssdtp/internal/runner"
+	"ssdtp/internal/sim"
+	"ssdtp/internal/ssd"
+	"ssdtp/internal/stats"
+	"ssdtp/internal/workload"
+)
+
+// fleetOpts carries the flag values the fleet mode consumes.
+type fleetOpts struct {
+	drives   int
+	tenants  int
+	policy   string // stripe|hash
+	stripeKB int64
+
+	pattern    workload.Pattern
+	size       int
+	qd         int
+	intervalUS int64
+	readFrac   float64
+	seed       int64
+	ms         int64
+	prefill    bool
+
+	col                                            *obs.Collector
+	traceFile, perfettoFile, timelineFile, metrics string
+	showSMART                                      bool
+}
+
+// runFleet is ssdfio's -fleet mode: N identical-model drives behind a
+// placement tier, shared by -tenants copies of the flag-configured workload
+// (distinct seeds), reporting per-tenant tail percentiles and GC blast
+// radius. The same co-simulation substrate as the fleet experiment, but with
+// every knob on the command line.
+func runFleet(cfg ssd.Config, o fleetOpts) {
+	if o.tenants <= 0 {
+		fmt.Fprintf(os.Stderr, "-tenants must be positive, got %d\n", o.tenants)
+		os.Exit(2)
+	}
+	stripe := o.stripeKB * 1024
+	var pl fleet.Placement
+	switch o.policy {
+	case "stripe":
+		pl = fleet.StripeAll(o.drives)
+	case "hash":
+		group := o.drives / o.tenants
+		if group < 1 {
+			group = 1
+		}
+		pl = fleet.ConsistentHash(o.drives, group, o.seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown placement %q (want stripe|hash)\n", o.policy)
+		os.Exit(2)
+	}
+
+	var tr *obs.Tracer
+	label := fmt.Sprintf("fleet/%s/%dd", pl.Name(), o.drives)
+	if o.col != nil {
+		tr = o.col.Cell(label)
+	}
+
+	host := sim.NewEngine()
+	devs := make([]*ssd.Device, o.drives)
+	for i := range devs {
+		c := cfg
+		c.FTL.Seed = int64(runner.CellSeed(o.seed, uint64(i)))
+		// Each drive gets a span-capped tracer: it buffers nothing but keeps
+		// the latency-attribution profiler alive, which the fleet's
+		// blast-radius accounting consumes per sub-request.
+		dtr := obs.NewTracer(fmt.Sprintf("drive%03d", i))
+		dtr.SetRecordCap(1)
+		c.Trace = dtr
+		dev := ssd.NewDevice(sim.NewEngine(), c)
+		if o.prefill {
+			fill := dev.Size() * 85 / 100 / 65536 * 65536
+			workload.Run(dev, workload.Spec{
+				Name: "prefill", Pattern: workload.Sequential, RequestBytes: 65536, Length: fill,
+			}, workload.Options{MaxRequests: fill / 65536})
+		}
+		devs[i] = dev
+	}
+	f := fleet.New(host, devs, stripe)
+	if tr != nil {
+		f.BindObs(tr)
+	}
+
+	groups := make([][]int, o.tenants)
+	for t := range groups {
+		groups[t] = pl.Group(t)
+	}
+	volBytes := fleetVolBytes(devs[0].Size(), groups, o.drives, stripe)
+	vols := make([]*fleet.Volume, o.tenants)
+	targets := make([]workload.Target, o.tenants)
+	specs := make([]workload.Spec, o.tenants)
+	for t := range vols {
+		v, err := f.AddVolume(fmt.Sprintf("t%d", t), groups[t], volBytes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		vols[t] = v
+		targets[t] = v
+		specs[t] = workload.Spec{
+			Name:         v.Name(),
+			Pattern:      o.pattern,
+			RequestBytes: o.size,
+			QueueDepth:   o.qd,
+			Interval:     sim.Time(o.intervalUS) * sim.Microsecond,
+			ReadFrac:     o.readFrac,
+			Seed:         runner.CellSeed(o.seed, uint64(1000+t)),
+		}
+	}
+
+	results := workload.RunMulti(targets, specs, workload.Options{
+		Duration: sim.Time(o.ms) * sim.Millisecond,
+	})
+
+	fmt.Printf("fleet: %d × %s, %d tenants, %s placement, %dKiB stripe, %d-byte volumes\n",
+		o.drives, cfg.Name, o.tenants, pl.Name(), o.stripeKB, volBytes)
+	tab := stats.NewTable("tenant", "drives", "shared", "requests", "MB/s",
+		"p50(µs)", "p95(µs)", "p99(µs)", "p99.9(µs)", "gc tail share", "blast radius")
+	for t, v := range vols {
+		r := v.Report()
+		tab.AddRow(r.Tenant, r.Drives, r.SharedDrives, r.Requests,
+			fmt.Sprintf("%.1f", results[t].ThroughputMBps()),
+			r.P50/sim.Microsecond, r.P95/sim.Microsecond,
+			r.P99/sim.Microsecond, r.P999/sim.Microsecond,
+			fmt.Sprintf("%.2f%%", float64(r.TailGCSharePPM)/10000),
+			fmt.Sprintf("%.2f%%", float64(r.BlastPPM)/10000))
+	}
+	fmt.Print(tab.String())
+
+	if o.showSMART {
+		for i, dev := range devs {
+			fmt.Printf("--- drive%03d ---\n%s", i, dev.SMART().String())
+		}
+	}
+
+	if tr != nil {
+		f.PublishMetrics(tr)
+		o.col.MarkDone(label)
+		writeObsFile(o.traceFile, func(w *os.File) error { return tr.WriteJSONL(w) })
+		writeObsFile(o.perfettoFile, func(w *os.File) error { return tr.WritePerfetto(w) })
+		writeObsFile(o.timelineFile, func(w *os.File) error { return tr.WriteTimelineCSV(w) })
+		writeObsFile(o.metrics, func(w *os.File) error { return tr.WriteMetrics(w) })
+	}
+}
+
+// fleetVolBytes sizes every tenant volume so each drive fits all the tenants
+// placed on it: the binding drive is the most-loaded one, which can devote at
+// most size/load (less one stripe of slack) to each of its tenants.
+func fleetVolBytes(driveSize int64, groups [][]int, drives int, stripe int64) int64 {
+	loads := make([]int64, drives)
+	for _, g := range groups {
+		for _, d := range g {
+			loads[d]++
+		}
+	}
+	g := int64(len(groups[0]))
+	best := int64(1) << 62
+	for _, l := range loads {
+		if l == 0 {
+			continue
+		}
+		if b := g * (driveSize/l - stripe); b < best {
+			best = b
+		}
+	}
+	if best < stripe {
+		return stripe
+	}
+	return best / stripe * stripe
+}
+
+// writeObsFile writes one observability export, or does nothing when no path
+// was requested.
+func writeObsFile(path string, write func(f *os.File) error) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "(wrote %s)\n", path)
+}

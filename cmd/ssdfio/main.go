@@ -6,6 +6,14 @@
 //
 //	ssdfio -model MX500 -pattern uniform -size 4096 -qd 4 -ms 500 [-smart]
 //	       [-trace FILE] [-trace-perfetto FILE] [-timeline FILE] [-metrics FILE] [-http ADDR]
+//
+// With -fleet N the same workload flags configure a multi-tenant tier
+// instead: N drives of the chosen model behind a placement layer
+// (-placement stripe|hash, -stripe-kb), shared by -tenants copies of the
+// workload with distinct seeds, reporting per-tenant tail percentiles and GC
+// blast radius:
+//
+//	ssdfio -fleet 64 -tenants 4 -placement hash -model mqsim-base -ms 200
 package main
 
 import (
@@ -38,6 +46,10 @@ func main() {
 	timelineFile := flag.String("timeline", "", "write a time-windowed telemetry CSV (sampled every -timeline-ms) to this file")
 	metricsFile := flag.String("metrics", "", "write a Prometheus-style text dump of device metrics to this file")
 	httpAddr := flag.String("http", "", "serve a live ops endpoint (pprof, expvar, /metrics, /progress) on this address, e.g. :6060")
+	fleetN := flag.Int("fleet", 0, "simulate a tier of N drives behind a placement layer instead of a single device")
+	tenants := flag.Int("tenants", 4, "fleet mode: tenants sharing the tier, each running the flag-configured workload")
+	placement := flag.String("placement", "stripe", "fleet mode: placement policy: stripe|hash")
+	stripeKB := flag.Int64("stripe-kb", 256, "fleet mode: placement stripe size in KiB")
 	flag.Parse()
 
 	cfg, err := modelByName(*model)
@@ -59,8 +71,6 @@ func main() {
 			}
 			col.SetTimeline(sim.Time(itv) * sim.Millisecond)
 		}
-		tr = col.Cell(*model)
-		cfg.Trace = tr
 	}
 	if *httpAddr != "" {
 		addr, shutdown, err := obs.ServeOps(*httpAddr, col, nil)
@@ -71,7 +81,6 @@ func main() {
 		defer shutdown()
 		fmt.Fprintf(os.Stderr, "(ops endpoint on http://%s)\n", addr)
 	}
-	dev := ssd.NewDevice(sim.NewEngine(), cfg)
 
 	var pat workload.Pattern
 	switch *pattern {
@@ -85,6 +94,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *pattern)
 		os.Exit(2)
 	}
+
+	if *fleetN > 0 {
+		if *replayFile != "" {
+			fmt.Fprintln(os.Stderr, "-replay is not supported in fleet mode")
+			os.Exit(2)
+		}
+		runFleet(cfg, fleetOpts{
+			drives: *fleetN, tenants: *tenants, policy: *placement, stripeKB: *stripeKB,
+			pattern: pat, size: *size, qd: *qd, intervalUS: *intervalUS,
+			readFrac: *readFrac, seed: *seed, ms: *ms, prefill: *prefill,
+			col: col, traceFile: *traceFile, perfettoFile: *perfettoFile,
+			timelineFile: *timelineFile, metrics: *metricsFile, showSMART: *showSMART,
+		})
+		return
+	}
+
+	if col != nil {
+		tr = col.Cell(*model)
+		cfg.Trace = tr
+	}
+	dev := ssd.NewDevice(sim.NewEngine(), cfg)
 
 	if *prefill {
 		// The prefill is priming, not the measured workload; keep it out of
@@ -137,8 +167,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		res := workload.Replay(dev, ops)
+		res, err := workload.Replay(dev, ops)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Println(res)
+		if res.SkippedOps > 0 {
+			fmt.Fprintf(os.Stderr, "(skipped %d unplayable trace ops)\n", res.SkippedOps)
+		}
 		fmt.Printf("throughput: %.1f MB/s over %s simulated\n", res.ThroughputMBps(), fmtMS(res.Duration))
 		if *showSMART {
 			fmt.Print(dev.SMART().String())

@@ -35,6 +35,7 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 			return res.Table() + TableS1MeanDelta(res).Table()
 		}},
 		{"tabS4", func() string { return TabS4DesignSweep(Quick, 42).Table() }},
+		{"fleet", func() string { return FleetTail(Quick, 42).Table() }},
 	}
 	for _, a := range artifacts {
 		a := a

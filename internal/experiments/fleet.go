@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ssdtp/internal/fleet"
+	"ssdtp/internal/ftl"
+	"ssdtp/internal/obs"
+	"ssdtp/internal/runner"
+	"ssdtp/internal/sim"
+	"ssdtp/internal/ssd"
+	"ssdtp/internal/stats"
+	"ssdtp/internal/workload"
+)
+
+// The fleet experiment scales the paper's transparency argument from one
+// drive to the population an operator actually runs: hundreds of drives
+// behind a placement tier, shared by tenants that cannot see each other.
+// §2.1's point — black-box devices hide the background work that shapes
+// tails — compounds at fleet scale, because a tenant's p99.9 now depends on
+// garbage collection triggered by *other tenants'* writes on shared drives.
+// The experiment quantifies that as GC blast radius: the fraction of a
+// tenant's tail latency charged to gc_stall on drives it shares, compared
+// across placement policies that trade striping width for isolation.
+
+// fleetTenants is the number of tenants sharing the simulated tier.
+const fleetTenants = 4
+
+// fleetStripe is the placement-tier striping unit.
+const fleetStripe = 256 * 1024
+
+// fleetDriveConfig returns one of the fleet's drive models. The fleet is
+// deliberately heterogeneous — a real tier mixes purchase generations — so
+// drives cycle through two models (different cache sizes and GC policies)
+// at two preconditioned fill levels (different ages). Both models share the
+// geometry of the fleet's smallest drive so volume sizing is uniform, and
+// carry enough over-provisioning that the shrunken per-PU block count still
+// leaves garbage collection reclaimable space at full fill.
+func fleetDriveConfig(model int, seed int64) ssd.Config {
+	cfg := ssd.MQSimBase()
+	cfg.Channels = 2
+	cfg.Geometry.BlocksPerPlane = 8
+	cfg.FTL.OverProvision = 0.25
+	cfg.FTL.Seed = seed
+	if model == 0 {
+		cfg.Name = "fleet-a"
+	} else {
+		cfg.Name = "fleet-b"
+		cfg.FTL.CacheBytes = 1 << 20
+		cfg.FTL.GC = ftl.GCRandGreedy
+		cfg.FTL.GCSample = 4
+	}
+	return cfg
+}
+
+// fleetFillLevels are the preconditioned fill percentages drives cycle
+// through — young (half full) and aged (the fig3-family steady state).
+var fleetFillLevels = []int64{50, 85}
+
+// fleetSpecs returns the tenants' traffic mix: an OLTP-style random writer,
+// a streaming sequential writer, a skewed mixed reader/writer, and a
+// read-mostly scanner. Seeds derive from the experiment seed per tenant, so
+// the mix is reproducible and independent of placement policy.
+func fleetSpecs(vols []*fleet.Volume, seed int64) []workload.Spec {
+	mk := func(t int, s workload.Spec) workload.Spec {
+		s.Name = vols[t].Name()
+		s.Seed = runner.CellSeed(seed, uint64(1000+t))
+		return s
+	}
+	return []workload.Spec{
+		mk(0, workload.Spec{Pattern: workload.Uniform, RequestBytes: 4096, QueueDepth: 4}),
+		mk(1, workload.Spec{Pattern: workload.Sequential, RequestBytes: 64 * 1024, QueueDepth: 8}),
+		mk(2, workload.Spec{Pattern: workload.Hotspot, RequestBytes: 16384, QueueDepth: 4, ReadFrac: 0.5}),
+		mk(3, workload.Spec{Pattern: workload.Uniform, RequestBytes: 16384, QueueDepth: 4, ReadFrac: 0.7}),
+	}
+}
+
+// fleetVolumeBytes sizes the per-tenant volume so every drive fits all its
+// tenants' extents: a drive carrying L tenants devotes at most
+// volBytes/groupSize (rounded up to a whole stripe) to each.
+func fleetVolumeBytes(driveSize int64, groups [][]int, drives int) int64 {
+	loads := make([]int64, drives)
+	for _, g := range groups {
+		for _, d := range g {
+			loads[d]++
+		}
+	}
+	g := int64(len(groups[0]))
+	best := int64(1) << 62
+	for _, l := range loads {
+		if l == 0 {
+			continue
+		}
+		if b := g * (driveSize/l - fleetStripe); b < best {
+			best = b
+		}
+	}
+	if best < fleetStripe {
+		return fleetStripe
+	}
+	return best / fleetStripe * fleetStripe
+}
+
+// FleetTenant is one tenant's summary under one placement policy.
+type FleetTenant struct {
+	Policy string
+	Report fleet.TenantReport
+}
+
+// FleetResult aggregates both placement policies' tenant reports.
+type FleetResult struct {
+	Drives  int
+	Tenants []FleetTenant
+}
+
+// Isolated counts the policy's tenants whose tail carries no shared-drive
+// GC interference at all (blast radius zero) — the headline contrast:
+// full-fleet striping exposes every tenant to every other tenant's garbage
+// collection, while ring placement leaves some tenants untouched at the
+// cost of concentrating the interference on the overlapping ones.
+func (r FleetResult) Isolated(policy string) (isolated, total int) {
+	for _, t := range r.Tenants {
+		if t.Policy != policy {
+			continue
+		}
+		total++
+		if t.Report.BlastPPM == 0 {
+			isolated++
+		}
+	}
+	return isolated, total
+}
+
+// Table renders the per-tenant summary.
+func (r FleetResult) Table() string {
+	t := stats.NewTable("policy", "tenant", "drives", "shared", "requests",
+		"p50(µs)", "p99(µs)", "p99.9(µs)", "gc tail share", "blast radius")
+	for _, ft := range r.Tenants {
+		rep := ft.Report
+		t.AddRow(ft.Policy, rep.Tenant, rep.Drives, rep.SharedDrives, rep.Requests,
+			rep.P50/sim.Microsecond, rep.P99/sim.Microsecond, rep.P999/sim.Microsecond,
+			fmt.Sprintf("%.2f%%", float64(rep.TailGCSharePPM)/10000),
+			fmt.Sprintf("%.2f%%", float64(rep.BlastPPM)/10000))
+	}
+	out := t.String()
+	si, st := r.Isolated("stripe")
+	hi, ht := r.Isolated("hash")
+	out += fmt.Sprintf("%d drives; tenants with zero GC blast radius: stripe %d/%d, hash %d/%d\n",
+		r.Drives, si, st, hi, ht)
+	return out
+}
+
+// fleetPolicies returns the two placement policies under comparison: static
+// full-fleet striping (maximal sharing) and consistent-hash ring placement
+// over quarter-fleet groups (bounded sharing).
+func fleetPolicies(drives int, seed int64) []fleet.Placement {
+	group := drives / fleetTenants
+	if group < 1 {
+		group = 1
+	}
+	return []fleet.Placement{
+		fleet.StripeAll(drives),
+		fleet.ConsistentHash(drives, group, seed),
+	}
+}
+
+// FleetTail runs the fleet experiment: one cell per placement policy, each
+// an independent co-simulation of the whole tier on its own host engine.
+// Drives are preconditioned clones from the snapshot cache (four distinct
+// images: two models at two fill levels), so building a 256-drive tier
+// costs four prefills. Per-tenant traffic replays identically across
+// policies; only the drive→tenant mapping differs.
+func FleetTail(scale Scale, seed int64) FleetResult {
+	drives := int(scale.pick(32, 256))
+	reqs := scale.pick(1500, 12000)
+
+	var cells []runner.Task[[]FleetTenant]
+	for _, pl := range fleetPolicies(drives, seed) {
+		pl := pl
+		cells = append(cells, runner.TracedCell(observer(),
+			fmt.Sprintf("fleet/%s/%dd", pl.Name(), drives),
+			func(tr *obs.Tracer) []FleetTenant {
+				host := sim.NewEngine()
+				devs := make([]*ssd.Device, drives)
+				for i := range devs {
+					cfg := fleetDriveConfig(i%2, seed)
+					dtr := obs.NewTracer(fmt.Sprintf("drive%03d", i))
+					dtr.SetRecordCap(1)
+					devs[i] = prefilledDeviceFrac(cfg, dtr, fleetFillLevels[(i/2)%2])
+				}
+				f := fleet.New(host, devs, fleetStripe)
+				f.BindObs(tr)
+
+				groups := make([][]int, fleetTenants)
+				for t := range groups {
+					groups[t] = pl.Group(t)
+				}
+				volBytes := fleetVolumeBytes(devs[0].Size(), groups, drives)
+				vols := make([]*fleet.Volume, fleetTenants)
+				targets := make([]workload.Target, fleetTenants)
+				for t := range vols {
+					v, err := f.AddVolume(fmt.Sprintf("t%d", t), groups[t], volBytes)
+					if err != nil {
+						panic(fmt.Sprintf("fleet experiment: %v", err))
+					}
+					vols[t] = v
+					targets[t] = v
+				}
+
+				workload.RunMulti(targets, fleetSpecs(vols, seed),
+					workload.Options{MaxRequests: reqs})
+				f.PublishMetrics(tr)
+
+				out := make([]FleetTenant, fleetTenants)
+				for t, v := range vols {
+					out[t] = FleetTenant{Policy: pl.Name(), Report: v.Report()}
+				}
+				return out
+			}))
+	}
+	res := FleetResult{Drives: drives}
+	for _, tenants := range runner.Map(pool(), cells) {
+		res.Tenants = append(res.Tenants, tenants...)
+	}
+	return res
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ssdtp/internal/obs"
+	"ssdtp/internal/runner"
+	"ssdtp/internal/sim"
+)
+
+// The fleet co-simulation is held to the same observability contract as the
+// single-drive grids: the exported trace, metrics and telemetry timeline of
+// a fleet run are byte-identical run to run and for any worker count, with
+// tier-level metrics present.
+func TestFleetObsByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fleet regeneration")
+	}
+	type export struct{ trace, metrics, timeline string }
+	render := func(workers int) export {
+		col := obs.NewCollector()
+		col.SetTimeline(sim.Millisecond)
+		prev := observer()
+		SetObserver(col)
+		defer SetObserver(prev)
+		withPool(&runner.Pool{Workers: workers}, func() { FleetTail(Quick, 42) })
+		var tb, mb, lb strings.Builder
+		if err := col.WriteJSONL(&tb); err != nil {
+			t.Fatal(err)
+		}
+		if err := col.WriteMetrics(&mb); err != nil {
+			t.Fatal(err)
+		}
+		if err := col.WriteTimelineCSV(&lb); err != nil {
+			t.Fatal(err)
+		}
+		return export{tb.String(), mb.String(), lb.String()}
+	}
+	e1a := render(1)
+	e1b := render(1)
+	e8 := render(8)
+	if !strings.Contains(e1a.metrics, "ssdtp_fleet_drives") {
+		t.Error("metrics dump missing tier-level fleet gauges")
+	}
+	if !strings.Contains(e1a.metrics, "ssdtp_fleet_tenant_t0_blast_radius_ppm") {
+		t.Error("metrics dump missing per-tenant blast-radius gauges")
+	}
+	if !strings.Contains(e1a.trace, `"name":"fleet.write"`) {
+		t.Error("trace contains no tenant-level fleet request spans")
+	}
+	if strings.Count(e1a.timeline, "\n") < 2 {
+		t.Error("fleet timeline export has no sample rows")
+	}
+	if e1a != e1b {
+		t.Error("two serial same-seed fleet runs produced different observability exports")
+	}
+	if e8 != e1a {
+		t.Error("8-worker fleet observability exports differ from serial")
+	}
+}
+
+// TestFleetFullScaleDeterministic is the acceptance run: the 256-drive
+// 4-tenant tier completes at full scale and renders byte-identically for
+// any worker count, with every tenant reporting tail percentiles and a
+// blast-radius figure.
+func TestFleetFullScaleDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-drive full-scale run")
+	}
+	var serial, wide string
+	withPool(&runner.Pool{Workers: 1}, func() { serial = FleetTail(Full, 42).Table() })
+	withPool(&runner.Pool{Workers: 8}, func() { wide = FleetTail(Full, 42).Table() })
+	if serial != wide {
+		t.Fatalf("full-scale fleet table differs across worker counts:\n%s\n--- vs ---\n%s", serial, wide)
+	}
+	if !strings.Contains(serial, "256") || !strings.Contains(serial, "p99.9(µs)") {
+		t.Errorf("full-scale table missing expected fields:\n%s", serial)
+	}
+}
+
+// Cloned heterogeneous fleets must be indistinguishable from fleets whose
+// drives are preconditioned from scratch: the whole rendered table, covering
+// every model and fill level in the fleet mix, is byte-identical with the
+// snapshot cache on and off.
+func TestFleetSnapshotCacheEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebuilds every drive image from scratch")
+	}
+	run := func(cache bool) string {
+		SetSnapshotCache(cache)
+		defer SetSnapshotCache(true)
+		return FleetTail(Quick, 42).Table()
+	}
+	off := run(false)
+	on := run(true)
+	if on != off {
+		t.Errorf("fleet table differs with snapshot cache on:\n--- off ---\n%s--- on ---\n%s", off, on)
+	}
+}

@@ -84,11 +84,12 @@ func configKey(cfg ssd.Config) string {
 }
 
 // prefillDevice drives the fig3-family steady-state preconditioning:
-// sequential fill of 85% of the logical space, one overwrite pass of its
-// first half to mix block ages and create reclaimable space (a fully-valid
-// drive gives garbage collection nothing to collect), then a flush.
-func prefillDevice(dev *ssd.Device) {
-	fill := dev.Size() * 85 / 100 / (64 * 1024) * (64 * 1024)
+// sequential fill of fillPct percent of the logical space, one overwrite
+// pass of its first half to mix block ages and create reclaimable space (a
+// fully-valid drive gives garbage collection nothing to collect), then a
+// flush.
+func prefillDevice(dev *ssd.Device, fillPct int64) {
+	fill := dev.Size() * fillPct / 100 / (64 * 1024) * (64 * 1024)
 	workload.Run(dev, workload.Spec{
 		Name: "prefill", Pattern: workload.Sequential, RequestBytes: 64 * 1024,
 		Length: fill,
@@ -104,13 +105,20 @@ func prefillDevice(dev *ssd.Device) {
 	dev.Engine().RunWhile(func() bool { return !done })
 }
 
-// prefilledDevice returns a device with cfg in prefilled steady state, bound
-// to tr. With the cache on, the prefill image for this exact config is built
-// once (traceless) and restored onto a fresh engine; otherwise the device is
-// prefilled from scratch with tr suspended for the (identical-per-config)
-// priming traffic.
+// prefilledDevice returns a device with cfg in prefilled steady state (the
+// fig3-family 85% fill), bound to tr.
 func prefilledDevice(cfg ssd.Config, tr *obs.Tracer) *ssd.Device {
-	if e := precondEntryFor("prefill|" + configKey(cfg)); e != nil {
+	return prefilledDeviceFrac(cfg, tr, 85)
+}
+
+// prefilledDeviceFrac is prefilledDevice with a caller-chosen fill level —
+// the fleet experiment mixes fill levels to model drives of different ages.
+// With the cache on, the prefill image for this exact (config, fill) pair is
+// built once (traceless) and restored onto a fresh engine; otherwise the
+// device is prefilled from scratch with tr suspended for the
+// (identical-per-config) priming traffic.
+func prefilledDeviceFrac(cfg ssd.Config, tr *obs.Tracer, fillPct int64) *ssd.Device {
+	if e := precondEntryFor(fmt.Sprintf("prefill|%d|%s", fillPct, configKey(cfg))); e != nil {
 		e.once.Do(func() {
 			// Build under a suspended throwaway tracer: it records nothing
 			// (matching the uncached path's suspended prefill) but its engine
@@ -121,7 +129,7 @@ func prefilledDevice(cfg ssd.Config, tr *obs.Tracer) *ssd.Device {
 			build := cfg
 			build.Trace = btr
 			dev := ssd.NewDevice(sim.NewEngine(), build)
-			prefillDevice(dev)
+			prefillDevice(dev, fillPct)
 			e.dev = dev.Snapshot()
 			e.fired = btr.EventsFired()
 		})
@@ -134,7 +142,7 @@ func prefilledDevice(cfg ssd.Config, tr *obs.Tracer) *ssd.Device {
 	cfg.Trace = tr
 	tr.Suspend()
 	dev := ssd.NewDevice(sim.NewEngine(), cfg)
-	prefillDevice(dev)
+	prefillDevice(dev, fillPct)
 	tr.Resume()
 	return dev
 }

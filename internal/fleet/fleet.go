@@ -1,0 +1,596 @@
+// Package fleet simulates a host-side storage tier: hundreds to thousands of
+// ssd.Device instances (heterogeneous models, ages and fill levels, cloned
+// cheaply from preconditioned snapshots) behind a striping/placement layer,
+// serving multiple tenants. It turns the paper's per-drive transparency
+// argument into the fleet problem operators actually have: garbage collection
+// on a drive one tenant fills blows the p99 of every other tenant striped
+// over it. See DESIGN.md §10.
+//
+// # Co-simulation
+//
+// Restored drive clones carry their preconditioning clock and trailing GC
+// events, and sim.Engine.Rebase forbids moving an engine with pending events —
+// so every drive keeps its own engine, offset from fleet time by a fixed
+// per-drive base (its clock at attach). The fleet owns one host engine, which
+// tenant workloads (workload.RunMulti) drive as usual; a single "pump" event
+// on the host engine is always armed at the earliest pending drive event's
+// fleet time. When it fires, due drive events are stepped in (fleet time,
+// drive index) order; when a volume submits I/O, the target drive's clock is
+// first advanced to fleet-now. New drive events are always scheduled at or
+// after the drive's current clock, so no drive event can become due before
+// the armed pump — the interleaving is total, deterministic, and independent
+// of host-side worker counts.
+//
+// # Attribution
+//
+// Each drive's latency-attribution profiler (obs.Profiler) gets a row sink,
+// so every completed sub-request's exact phase decomposition is observed at
+// completion — no per-request state is retained on the drives. The volume
+// charges the row's gc_stall time to the issuing tenant, split by whether the
+// drive is shared with other tenants; the per-tenant tail of those charges is
+// the GC blast radius.
+package fleet
+
+import (
+	"fmt"
+
+	"ssdtp/internal/obs"
+	"ssdtp/internal/sim"
+	"ssdtp/internal/ssd"
+	"ssdtp/internal/stats"
+)
+
+// drive is one device in the tier plus its co-simulation and placement state.
+type drive struct {
+	dev  *ssd.Device
+	eng  *sim.Engine
+	base sim.Time // drive-local clock minus fleet clock, fixed at attach
+
+	tenants int   // volumes with at least one extent here
+	cursor  int64 // next unallocated drive-local byte
+
+	// lastRow/hasRow form the one-slot row hand-off from the drive profiler's
+	// sink to the volume's sub-request completion: ReqAttr.End runs the sink
+	// and then, synchronously, the completion callback, so the slot always
+	// holds exactly the completing request's row when the callback reads it.
+	lastRow obs.AttrRow
+	hasRow  bool
+}
+
+// takeRow consumes the row hand-off slot.
+func (d *drive) takeRow() (obs.AttrRow, bool) {
+	if !d.hasRow {
+		return obs.AttrRow{}, false
+	}
+	d.hasRow = false
+	return d.lastRow, true
+}
+
+// Fleet is the drive tier. Construct with New, carve tenant volumes with
+// AddVolume, then drive the host engine (workload generators do) — the fleet
+// keeps every drive's simulation interleaved with the host clock.
+type Fleet struct {
+	eng    *sim.Engine
+	drives []*drive
+	stripe int64
+	sector int
+	pump   sim.Event
+	vols   []*Volume
+	tr     *obs.Tracer // cell tracer from BindObs; carries tenant-request spans
+}
+
+// New assembles a tier over devs on the host engine eng. Each device must be
+// on its own engine (not eng) with no host I/O outstanding; stripeBytes is
+// the placement extent size, a positive multiple of the common sector size.
+func New(eng *sim.Engine, devs []*ssd.Device, stripeBytes int64) *Fleet {
+	if len(devs) == 0 {
+		panic("fleet: New with no drives")
+	}
+	f := &Fleet{eng: eng, stripe: stripeBytes, sector: devs[0].SectorSize()}
+	if stripeBytes <= 0 || stripeBytes%int64(f.sector) != 0 {
+		panic(fmt.Sprintf("fleet: stripe %d not a positive multiple of sector %d", stripeBytes, f.sector))
+	}
+	f.drives = make([]*drive, len(devs))
+	for i, dev := range devs {
+		if dev.Engine() == eng {
+			panic("fleet: drives must not share the host engine")
+		}
+		if dev.SectorSize() != f.sector {
+			panic(fmt.Sprintf("fleet: drive %d sector %d != fleet sector %d", i, dev.SectorSize(), f.sector))
+		}
+		d := &drive{dev: dev, eng: dev.Engine(), base: dev.Engine().Now() - eng.Now()}
+		if prof := dev.Tracer().Prof(); prof != nil {
+			prof.SetRowSink(func(r obs.AttrRow) {
+				d.lastRow = r
+				d.hasRow = true
+			})
+		}
+		f.drives[i] = d
+	}
+	f.armPump()
+	return f
+}
+
+// Engine returns the host engine.
+func (f *Fleet) Engine() *sim.Engine { return f.eng }
+
+// Drives returns the tier size.
+func (f *Fleet) Drives() int { return len(f.drives) }
+
+// SharedDrives returns how many drives back more than one volume.
+func (f *Fleet) SharedDrives() int {
+	n := 0
+	for _, d := range f.drives {
+		if d.tenants > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// syncDrive advances a drive's local clock to fleet-now, firing any of its
+// events due at or before it, so a submission lands on an up-to-date drive.
+func (f *Fleet) syncDrive(d *drive) {
+	d.eng.RunUntil(d.base + f.eng.Now())
+}
+
+// nextDriveTime returns the earliest pending drive event's fleet time.
+func (f *Fleet) nextDriveTime() (sim.Time, bool) {
+	var best sim.Time
+	found := false
+	for _, d := range f.drives {
+		if t, ok := d.eng.NextEventTime(); ok {
+			g := t - d.base
+			if !found || g < best {
+				best, found = g, true
+			}
+		}
+	}
+	return best, found
+}
+
+// armPump (re)schedules the pump at the earliest pending drive event. The
+// invariant — no drive event is due before the armed pump — holds because
+// drives only gain events while being stepped or synced at fleet-now, so
+// every new event's fleet time is >= now.
+func (f *Fleet) armPump() {
+	next, ok := f.nextDriveTime()
+	if f.pump.Pending() {
+		if ok && f.pump.Time() == next {
+			return
+		}
+		f.pump.Cancel()
+	}
+	if !ok {
+		return
+	}
+	if now := f.eng.Now(); next < now {
+		next = now // defensive; the invariant makes this unreachable
+	}
+	f.pump = f.eng.At(next, f.pumpFire)
+}
+
+// pumpFire steps every due drive event in (fleet time, drive index) order,
+// then re-arms. Completion callbacks fired here run tenant logic (latency
+// recording, follow-on submissions) at the correct host-clock instant.
+func (f *Fleet) pumpFire() {
+	now := f.eng.Now()
+	for {
+		best := -1
+		var bt sim.Time
+		for i, d := range f.drives {
+			t, ok := d.eng.NextEventTime()
+			if !ok {
+				continue
+			}
+			if g := t - d.base; g <= now && (best < 0 || g < bt) {
+				best, bt = i, g
+			}
+		}
+		if best < 0 {
+			break
+		}
+		// Advance only to the minimum: draining a drive all the way to now
+		// here could fire its later events before another drive's earlier
+		// ones, breaking the (fleet time, drive index) total order.
+		d := f.drives[best]
+		d.eng.RunUntil(d.base + bt)
+	}
+	f.armPump()
+}
+
+// volRow is one tenant request's blast-radius accounting: end-to-end latency
+// plus the gc_stall time its sub-requests were charged, split by whether the
+// drive is shared with other tenants.
+type volRow struct {
+	total    sim.Time
+	gc       sim.Time
+	gcShared sim.Time
+}
+
+// DefaultRowCap bounds retained per-request rows per volume; beyond it,
+// requests still count but drop their exact row.
+const DefaultRowCap = 1 << 20
+
+// Volume is one tenant's striped slice of the tier. It implements
+// workload.Target on the fleet's host engine, so the same generators that
+// measure a single drive produce multi-tenant fleet traffic.
+type Volume struct {
+	f      *Fleet
+	name   string
+	group  []int
+	size   int64
+	shared []int // distinct drives of group, for flush fan-out
+
+	// extent e of the volume lives at drive extDrive[e], local byte extBase[e].
+	extDrive []int32
+	extBase  []int64
+
+	requests    int64
+	subRequests int64
+	lat         *stats.LatencyRecorder
+	rows        []volRow
+	rowCap      int
+	droppedRows int64
+}
+
+// AddVolume carves a tenant volume of the given byte size, striped in extent
+// (stripe-size) units across the drive group in order. Capacity is allocated
+// from each drive's cursor; an error is returned when the group cannot hold
+// the volume. Volumes must all be added before traffic starts: sharing is
+// derived from the final tenant count per drive.
+func (f *Fleet) AddVolume(name string, group []int, bytes int64) (*Volume, error) {
+	if len(group) == 0 {
+		return nil, fmt.Errorf("fleet: volume %s: empty drive group", name)
+	}
+	extents := bytes / f.stripe
+	if extents <= 0 {
+		return nil, fmt.Errorf("fleet: volume %s: size %d below one %d-byte extent", name, bytes, f.stripe)
+	}
+	v := &Volume{
+		f:        f,
+		name:     name,
+		group:    append([]int(nil), group...),
+		size:     extents * f.stripe,
+		extDrive: make([]int32, extents),
+		extBase:  make([]int64, extents),
+		lat:      stats.NewLatencyRecorder(),
+		rowCap:   DefaultRowCap,
+	}
+	// Validate the whole allocation before committing any cursor movement,
+	// so a failed AddVolume leaves the tier exactly as it found it.
+	need := make(map[int]int64)
+	for e := int64(0); e < extents; e++ {
+		di := group[int(e)%len(group)]
+		if di < 0 || di >= len(f.drives) {
+			return nil, fmt.Errorf("fleet: volume %s: drive index %d out of range", name, di)
+		}
+		need[di] += f.stripe
+	}
+	for di, n := range need {
+		d := f.drives[di]
+		if d.cursor+n > d.dev.Size() {
+			return nil, fmt.Errorf("fleet: volume %s: drive %d cannot hold %d more bytes (%d of %d used)",
+				name, di, n, d.cursor, d.dev.Size())
+		}
+	}
+	touched := map[int]bool{}
+	for e := int64(0); e < extents; e++ {
+		di := group[int(e)%len(group)]
+		d := f.drives[di]
+		v.extDrive[e] = int32(di)
+		v.extBase[e] = d.cursor
+		d.cursor += f.stripe
+		touched[di] = true
+	}
+	for di := range touched {
+		f.drives[di].tenants++
+		v.shared = append(v.shared, di)
+	}
+	// Deterministic flush fan-out order.
+	for i := 1; i < len(v.shared); i++ {
+		for j := i; j > 0 && v.shared[j] < v.shared[j-1]; j-- {
+			v.shared[j], v.shared[j-1] = v.shared[j-1], v.shared[j]
+		}
+	}
+	f.vols = append(f.vols, v)
+	return v, nil
+}
+
+// Name returns the tenant label.
+func (v *Volume) Name() string { return v.name }
+
+// Engine returns the fleet's host engine (workload.Target).
+func (v *Volume) Engine() *sim.Engine { return v.f.eng }
+
+// Size returns the volume's capacity in bytes (workload.Target).
+func (v *Volume) Size() int64 { return v.size }
+
+// SectorSize returns the tier's common sector size (workload.Target).
+func (v *Volume) SectorSize() int { return v.f.sector }
+
+// frag is one drive-local piece of a volume request.
+type frag struct {
+	di  int32
+	off int64
+	n   int64
+}
+
+// split cuts [off, off+length) at extent boundaries into drive-local pieces.
+func (v *Volume) split(off, length int64) []frag {
+	frags := make([]frag, 0, 1+length/v.f.stripe)
+	for length > 0 {
+		e := off / v.f.stripe
+		within := off % v.f.stripe
+		n := v.f.stripe - within
+		if n > length {
+			n = length
+		}
+		frags = append(frags, frag{di: v.extDrive[e], off: v.extBase[e] + within, n: n})
+		off += n
+		length -= n
+	}
+	return frags
+}
+
+// checkIO validates a request against the volume's bounds and alignment.
+func (v *Volume) checkIO(off, n int64) error {
+	if off < 0 || n <= 0 || off+n > v.size {
+		return fmt.Errorf("fleet %s: access [%d,+%d) beyond size %d", v.name, off, n, v.size)
+	}
+	if s := int64(v.f.sector); off%s != 0 || n%s != 0 {
+		return fmt.Errorf("fleet %s: unaligned access off=%d len=%d", v.name, off, n)
+	}
+	return nil
+}
+
+// opKind selects the drive entry point in submit.
+type opKind int
+
+const (
+	opWrite opKind = iota
+	opRead
+	opTrim
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opWrite:
+		return "write"
+	case opRead:
+		return "read"
+	default:
+		return "trim"
+	}
+}
+
+// submit splits a request across its drives, issues every piece, and wires a
+// joint completion that consumes each sub-request's attribution row and
+// records the tenant's blast-radius accounting.
+func (v *Volume) submit(kind opKind, off, length int64, done func()) error {
+	if err := v.checkIO(off, length); err != nil {
+		return err
+	}
+	var sp obs.Span
+	if v.f.tr.Enabled() {
+		sp = v.f.tr.Begin("fleet."+kind.String(),
+			obs.Str("tenant", v.name), obs.Int("off", off), obs.Int("len", length))
+	}
+	frags := v.split(off, length)
+	start := v.f.eng.Now()
+	remaining := len(frags)
+	var gc, gcShared sim.Time
+	for _, fr := range frags {
+		d := v.f.drives[fr.di]
+		shared := d.tenants > 1
+		v.f.syncDrive(d)
+		v.subRequests++
+		subDone := func() {
+			if row, ok := d.takeRow(); ok {
+				g := row.Phases[obs.PhaseGCStall]
+				gc += g
+				if shared {
+					gcShared += g
+				}
+			}
+			remaining--
+			if remaining == 0 {
+				v.record(v.f.eng.Now()-start, gc, gcShared)
+				sp.End()
+				if done != nil {
+					done()
+				}
+			}
+		}
+		var err error
+		switch kind {
+		case opWrite:
+			err = d.dev.WriteAsync(fr.off, nil, fr.n, subDone)
+		case opRead:
+			err = d.dev.ReadAsync(fr.off, nil, fr.n, subDone)
+		case opTrim:
+			err = d.dev.TrimAsync(fr.off, fr.n, subDone)
+		}
+		if err != nil {
+			// The volume range was validated above; a drive rejecting a
+			// mapped piece means the extent map is corrupt.
+			panic(fmt.Sprintf("fleet %s: drive %d rejected mapped I/O: %v", v.name, fr.di, err))
+		}
+	}
+	v.f.armPump()
+	return nil
+}
+
+// record accumulates one completed tenant request.
+func (v *Volume) record(total, gc, gcShared sim.Time) {
+	v.requests++
+	if len(v.rows) >= v.rowCap {
+		v.droppedRows++
+		return
+	}
+	v.rows = append(v.rows, volRow{total: total, gc: gc, gcShared: gcShared})
+	v.lat.Record(total)
+}
+
+// WriteAsync submits a striped write (workload.Target).
+func (v *Volume) WriteAsync(off int64, data []byte, length int64, done func()) error {
+	if data != nil {
+		length = int64(len(data))
+	}
+	return v.submit(opWrite, off, length, done)
+}
+
+// ReadAsync submits a striped read (workload.Target).
+func (v *Volume) ReadAsync(off int64, buf []byte, length int64, done func()) error {
+	if buf != nil {
+		length = int64(len(buf))
+	}
+	return v.submit(opRead, off, length, done)
+}
+
+// TrimAsync discards a striped range (workload.Target).
+func (v *Volume) TrimAsync(off, length int64, done func()) error {
+	return v.submit(opTrim, off, length, done)
+}
+
+// FlushAsync flushes every drive backing the volume; done fires once all have
+// settled (workload.Target). Flushes are not recorded as tenant requests —
+// the blast-radius metric is defined over read/write latency.
+func (v *Volume) FlushAsync(done func()) error {
+	remaining := len(v.shared)
+	for _, di := range v.shared {
+		d := v.f.drives[di]
+		v.f.syncDrive(d)
+		err := d.dev.FlushAsync(func() {
+			d.takeRow() // consume; flush rows don't charge a request
+			remaining--
+			if remaining == 0 && done != nil {
+				done()
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("fleet %s: drive %d: %w", v.name, di, err)
+		}
+	}
+	v.f.armPump()
+	return nil
+}
+
+// TenantReport is one tenant's latency and interference summary.
+type TenantReport struct {
+	Tenant       string
+	Drives       int // drives backing the volume
+	SharedDrives int // of those, drives also backing other tenants
+	Requests     int64
+	P50          sim.Time
+	P95          sim.Time
+	P99          sim.Time
+	P999         sim.Time
+	// TailThreshold is the latency bound defining the p99 tail below.
+	TailThreshold sim.Time
+	// TailGCSharePPM is gc_stall's share of the p99 tail's summed latency
+	// (parts per million), over all of the tenant's drives.
+	TailGCSharePPM int64
+	// BlastPPM is the GC blast radius: the share of the p99 tail's summed
+	// latency charged to gc_stall on drives shared with other tenants —
+	// interference the tenant cannot see, caused by neighbors it cannot name.
+	BlastPPM int64
+}
+
+// Report summarizes the volume's completed requests.
+func (v *Volume) Report() TenantReport {
+	r := TenantReport{Tenant: v.name, Drives: len(v.shared), Requests: v.requests}
+	for _, di := range v.shared {
+		if v.f.drives[di].tenants > 1 {
+			r.SharedDrives++
+		}
+	}
+	if v.lat.Count() == 0 {
+		return r
+	}
+	r.P50 = v.lat.Percentile(50)
+	r.P95 = v.lat.Percentile(95)
+	r.P99 = v.lat.Percentile(99)
+	r.P999 = v.lat.Percentile(99.9)
+	r.TailThreshold = r.P99
+	var sum, gc, gcShared sim.Time
+	for i := range v.rows {
+		if v.rows[i].total < r.TailThreshold {
+			continue
+		}
+		sum += v.rows[i].total
+		gc += v.rows[i].gc
+		gcShared += v.rows[i].gcShared
+	}
+	if sum > 0 {
+		r.TailGCSharePPM = int64(gc) * 1_000_000 / int64(sum)
+		r.BlastPPM = int64(gcShared) * 1_000_000 / int64(sum)
+	}
+	return r
+}
+
+// BindObs attaches the fleet to a cell tracer: host-engine events count into
+// the tracer's engine metrics, tenant requests open fleet.write/read/trim
+// spans (the drives' own spans stay on their private capped tracers — at
+// fleet scale the tenant-level stream is the one worth exporting), and, when
+// the tracer has a timeline configured, rows are sampled on host-clock
+// boundaries from the summed telemetry of every drive.
+func (f *Fleet) BindObs(tr *obs.Tracer) {
+	f.tr = tr
+	tr.BindEngine(f.eng)
+	tr.SetTimelineSampler(f.sampleTimeline)
+}
+
+// sampleTimeline sums per-drive telemetry into one tier-level sample.
+func (f *Fleet) sampleTimeline(s *obs.TimelineSample) {
+	for _, d := range f.drives {
+		var t obs.TimelineSample
+		d.dev.SampleTimeline(&t)
+		s.HostBytesWritten += t.HostBytesWritten
+		s.HostBytesRead += t.HostBytesRead
+		s.PagesProgrammed += t.PagesProgrammed
+		s.GCPagesMoved += t.GCPagesMoved
+		s.DirtyCacheBytes += t.DirtyCacheBytes
+		s.QueueDepth += t.QueueDepth
+		s.GCRunning += t.GCRunning
+		s.BusBusyNS += t.BusBusyNS
+		s.BusWaitNS += t.BusWaitNS
+	}
+}
+
+// PublishMetrics snapshots tier-level aggregates and per-tenant summaries
+// into tr's metric set, and credits every drive engine's fired events to the
+// cell so the events-fired metric covers the whole co-simulation. Call once
+// at the end of a run.
+func (f *Fleet) PublishMetrics(tr *obs.Tracer) {
+	m := tr.Metrics()
+	if m == nil {
+		return
+	}
+	var agg obs.TimelineSample
+	f.sampleTimeline(&agg)
+	var driveEvents int64
+	for _, d := range f.drives {
+		driveEvents += d.dev.Tracer().EventsFired()
+	}
+	tr.AddEventsFired(driveEvents)
+	m.Set("ssdtp_fleet_drives", int64(len(f.drives)))
+	m.Set("ssdtp_fleet_shared_drives", int64(f.SharedDrives()))
+	m.Set("ssdtp_fleet_tenants", int64(len(f.vols)))
+	m.Set("ssdtp_fleet_host_bytes_written_total", agg.HostBytesWritten)
+	m.Set("ssdtp_fleet_host_bytes_read_total", agg.HostBytesRead)
+	m.Set("ssdtp_fleet_pages_programmed_total", agg.PagesProgrammed)
+	m.Set("ssdtp_fleet_gc_pages_moved_total", agg.GCPagesMoved)
+	for _, v := range f.vols {
+		r := v.Report()
+		pre := "ssdtp_fleet_tenant_" + v.name
+		m.Set(pre+"_requests_total", r.Requests)
+		m.Set(pre+"_sub_requests_total", v.subRequests)
+		m.Set(pre+"_dropped_rows_total", v.droppedRows)
+		m.Set(pre+"_p50_ns", int64(r.P50))
+		m.Set(pre+"_p99_ns", int64(r.P99))
+		m.Set(pre+"_p999_ns", int64(r.P999))
+		m.Set(pre+"_tail_gc_share_ppm", r.TailGCSharePPM)
+		m.Set(pre+"_blast_radius_ppm", r.BlastPPM)
+	}
+}

@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Placement decides which drives back a tenant's volume. Implementations are
+// pure functions of their construction parameters — the returned groups must
+// not depend on call order or any mutable state, so a fleet's drive→tenant
+// map is a deterministic function of (policy, fleet size, seed) and every run
+// reproduces it exactly.
+type Placement interface {
+	// Name labels the policy in reports and cell labels.
+	Name() string
+	// Group returns the ordered drive indices backing the tenant's volume.
+	// The order matters: extent e of the volume lands on Group(t)[e % len].
+	Group(tenant int) []int
+}
+
+// stripeAll stripes every tenant across the whole fleet, rotated by tenant
+// index so tenants' extent-0 hot spots do not pile onto drive 0. Every drive
+// is shared by every tenant — the maximal blast-radius configuration.
+type stripeAll struct {
+	drives int
+}
+
+// StripeAll returns the static full-fleet striping policy over the given
+// number of drives.
+func StripeAll(drives int) Placement {
+	if drives <= 0 {
+		panic(fmt.Sprintf("fleet: StripeAll over %d drives", drives))
+	}
+	return &stripeAll{drives: drives}
+}
+
+func (p *stripeAll) Name() string { return "stripe" }
+
+func (p *stripeAll) Group(tenant int) []int {
+	g := make([]int, p.drives)
+	for i := range g {
+		g[i] = (tenant + i) % p.drives
+	}
+	return g
+}
+
+// consistentHash places each tenant on a fixed-size group of drives chosen by
+// walking a consistent-hash ring of virtual nodes. Different tenants land on
+// overlapping-but-distinct subsets, so some of a tenant's drives are shared
+// and some are private — the contrast the GC blast-radius metric needs.
+type consistentHash struct {
+	drives    int
+	groupSize int
+	seed      int64
+	ring      []ringEntry
+}
+
+type ringEntry struct {
+	pos   uint64
+	drive int
+}
+
+// vnodesPerDrive balances the ring: more virtual nodes spread each drive's
+// arc more evenly at the cost of a longer (one-time, sorted) ring.
+const vnodesPerDrive = 16
+
+// ConsistentHash returns the ring-placement policy: each tenant's group is
+// the first groupSize distinct drives clockwise from the tenant's hash.
+func ConsistentHash(drives, groupSize int, seed int64) Placement {
+	if drives <= 0 || groupSize <= 0 || groupSize > drives {
+		panic(fmt.Sprintf("fleet: ConsistentHash(%d drives, group %d)", drives, groupSize))
+	}
+	p := &consistentHash{drives: drives, groupSize: groupSize, seed: seed}
+	p.ring = make([]ringEntry, 0, drives*vnodesPerDrive)
+	for d := 0; d < drives; d++ {
+		for v := 0; v < vnodesPerDrive; v++ {
+			h := splitmix64(uint64(seed) ^ uint64(d)<<20 ^ uint64(v))
+			p.ring = append(p.ring, ringEntry{pos: h, drive: d})
+		}
+	}
+	sort.Slice(p.ring, func(i, j int) bool {
+		if p.ring[i].pos != p.ring[j].pos {
+			return p.ring[i].pos < p.ring[j].pos
+		}
+		return p.ring[i].drive < p.ring[j].drive
+	})
+	return p
+}
+
+func (p *consistentHash) Name() string { return "hash" }
+
+func (p *consistentHash) Group(tenant int) []int {
+	start := splitmix64(uint64(p.seed)*0x9E3779B97F4A7C15 + uint64(tenant) + 1)
+	i := sort.Search(len(p.ring), func(j int) bool { return p.ring[j].pos >= start })
+	group := make([]int, 0, p.groupSize)
+	seen := make(map[int]bool, p.groupSize)
+	for n := 0; n < len(p.ring) && len(group) < p.groupSize; n++ {
+		e := p.ring[(i+n)%len(p.ring)]
+		if !seen[e.drive] {
+			seen[e.drive] = true
+			group = append(group, e.drive)
+		}
+	}
+	return group
+}
+
+// splitmix64 is the mixing function of the SplitMix64 generator — the same
+// construction internal/runner uses for cell seeds. It bijectively scrambles
+// its input, so distinct (drive, vnode) pairs get well-spread ring positions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

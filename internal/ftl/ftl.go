@@ -711,8 +711,32 @@ func (f *FTL) pumpDrain() {
 // invalidate marks a physical sector dead and updates block accounting.
 func (f *FTL) invalidate(psn int64) {
 	f.p2l[psn] = psnFree
-	f.blockValid[f.blockOfPsn(psn)]--
+	gb := f.blockOfPsn(psn)
+	f.blockValid[gb]--
 	f.validTotal--
+	f.wakeStarvedPU(gb)
+}
+
+// wakeStarvedPU re-arms collection on the block's parallel unit when an
+// invalidation may have just created the victim a starved PU was waiting
+// for. Without this a PU wedges quietly: once pickVictim comes up empty,
+// only the PU's own commits re-check it, and a PU with every page op parked
+// has no commits coming. Invalidations that originate elsewhere — cache
+// writeback committing on another PU, or a TRIM — are exactly the events
+// that break that stalemate, so they must kick the block's owner. The kick
+// is deferred through the engine so block accounting is never reentered
+// mid-commit; duplicate kicks are harmless (maybeStartGC and
+// drainPUWaiters are idempotent).
+func (f *FTL) wakeStarvedPU(gb int64) {
+	pu := &f.pus[int(gb/int64(f.blksPerPU))]
+	if pu.gcRunning || (len(pu.waiters) == 0 && len(pu.free) >= f.cfg.GCLowWater) {
+		return
+	}
+	f.eng.Schedule(0, func() {
+		f.maybeStartGC(pu, false)
+		f.drainPUWaiters(pu)
+		f.pumpDrain()
+	})
 }
 
 // commitMapping installs lsn -> psn, invalidating any prior location.

@@ -1,0 +1,80 @@
+package ftl
+
+import (
+	"testing"
+
+	"ssdtp/internal/nand"
+)
+
+// wedgeProneConfig is a drive whose per-PU over-provisioning slack (0.8
+// blocks) is smaller than the per-PU GC reserve (1 block), so filling the
+// logical space leaves garbage collection nothing reclaimable and write
+// admission parks. Such a drive can only resume when invalidations arrive
+// from outside the starved PU — the path wakeStarvedPU exists for.
+func wedgeProneConfig() Config {
+	return Config{
+		Channels:        2,
+		ChipsPerChannel: 1,
+		SectorSize:      4096,
+		OverProvision:   0.10,
+		GC:              GCGreedy,
+		Cache:           CacheData,
+		CacheBytes:      2 << 20,
+		Alloc:           AllocCWDP,
+		Geometry: nand.Geometry{
+			Dies: 2, Planes: 2, BlocksPerPlane: 8, PagesPerBlock: 64,
+			PageSize: 16384, OOBSize: 1024,
+		},
+	}
+}
+
+// TestTrimUnwedgesStarvedPU pins the cross-PU GC wake-up: a drive parked on
+// full parallel units must resume once TRIM invalidates mapped sectors,
+// even though the starved PUs have no commits of their own to re-check
+// them. Before wakeStarvedPU, the trimmed space was never noticed and the
+// parked writes hung forever.
+func TestTrimUnwedgesStarvedPU(t *testing.T) {
+	eng, _, f := newTestFTL(t, wedgeProneConfig())
+	total := f.LogicalSectors()
+	span := total / 16 * 16
+
+	// Overwrite the whole span until admission parks with the event queue
+	// drained — the wedge this config is built to reach.
+	wedged := false
+	for pass := 0; pass < 3 && !wedged; pass++ {
+		for off := int64(0); off < span; off += 16 {
+			if err := f.Write(off, 16, nil); err != nil {
+				t.Fatal(err)
+			}
+			eng.Run()
+			if f.BacklogDepth() > 0 {
+				wedged = true
+				break
+			}
+		}
+	}
+	if !wedged {
+		t.Fatal("drive never wedged; config no longer starves its PUs")
+	}
+
+	// Discard half the space. The invalidations land on every PU and must
+	// restart collection and drain the parked page ops.
+	if err := f.Trim(0, int(span/2)); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got := f.BacklogDepth(); got != 0 {
+		t.Fatalf("backlog still %d after trimming half the drive", got)
+	}
+
+	// The drive is live again: fresh writes complete.
+	done := false
+	if err := f.Write(0, 16, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !done {
+		t.Error("write after trim never completed")
+	}
+	checkInvariants(t, f)
+}

@@ -136,7 +136,9 @@ func (a *ReqAttr) End() {
 	for i := 0; i < NumPhases; i++ {
 		p.totals[i] += row.Phases[i]
 	}
-	if p.rowCap > 0 && len(p.rows) >= p.rowCap {
+	if p.sink != nil {
+		p.sink(row)
+	} else if p.rowCap > 0 && len(p.rows) >= p.rowCap {
 		p.droppedRows++
 	} else {
 		p.rows = append(p.rows, row)
@@ -165,6 +167,7 @@ type Profiler struct {
 	totals      [NumPhases]sim.Time
 	lat         [NumPhases]*stats.LatencyRecorder
 	requests    int64
+	sink        func(AttrRow) // when non-nil, receives rows instead of retention
 	free        *ReqAttr
 	handoff     *ReqAttr // host-interface → device request hand-off slot
 	op          *ReqAttr // FTL → bus per-operation context slot
@@ -191,6 +194,21 @@ func (p *Profiler) phaseLat(ph Phase) *stats.LatencyRecorder {
 		p.lat[ph] = stats.NewLatencyRecorder()
 	}
 	return p.lat[ph]
+}
+
+// SetRowSink diverts each completed request's AttrRow to fn at End time
+// instead of retaining it (and its per-phase histogram samples) in the
+// profiler. Phase totals and the request count still accumulate. The fleet
+// layer installs a sink on every drive's profiler so a thousands-of-drives
+// run consumes each row at completion — attributing it to the issuing
+// tenant — without holding per-request state anywhere. The sink runs inside
+// ReqAttr.End, before the request's completion callback, so a caller whose
+// completion fires immediately after can observe "its" row from the sink.
+// Passing nil restores row retention.
+func (p *Profiler) SetRowSink(fn func(AttrRow)) {
+	if p != nil {
+		p.sink = fn
+	}
 }
 
 // BeginReq starts attributing a request in the given initial phase. Returns

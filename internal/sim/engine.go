@@ -140,6 +140,17 @@ func (e *Engine) SetHook(h Hook) { e.hook = h }
 // the queue at Cancel time and are never counted.
 func (e *Engine) Pending() int { return len(e.pq) }
 
+// NextEventTime returns the firing time of the earliest pending event, or
+// (0, false) when the queue is empty. Co-simulation layers that interleave
+// several engines (internal/fleet) use it to pick which engine to step next
+// without disturbing any queue.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if len(e.pq) == 0 {
+		return 0, false
+	}
+	return e.pq[0].time, true
+}
+
 // Schedule queues fn to run delay nanoseconds from now. A negative delay is
 // treated as zero. Events scheduled for the same instant fire in the order
 // they were scheduled.

@@ -146,6 +146,13 @@ func (d *Device) sampleTimeline(s *obs.TimelineSample) {
 // Engine returns the simulation engine the device runs on.
 func (d *Device) Engine() *sim.Engine { return d.eng }
 
+// SampleTimeline fills s with the device's current timeline telemetry — the
+// same ground-truth sample the device's own tracer records at interval
+// boundaries. Aggregation layers that present many devices as one target
+// (internal/fleet) call it per drive and sum the fields into their own
+// timeline stream.
+func (d *Device) SampleTimeline(s *obs.TimelineSample) { d.sampleTimeline(s) }
+
 // Tracer returns the device's tracer (nil when tracing is off), so layers
 // above the device (hostif) can annotate the same trace stream.
 func (d *Device) Tracer() *obs.Tracer { return d.tr }

@@ -13,6 +13,12 @@ func FuzzParseTrace(f *testing.F) {
 	f.Add("# comment\n\nw 12 7\n")
 	f.Add("X nonsense\n")
 	f.Add("W -5 -10\n")
+	f.Add("W 0 0\n")
+	f.Add("R -1 4096\n")
+	f.Add("W 0 -4\n")
+	f.Add("F extra\n")
+	f.Add("W 0 99999999999999999999\n")
+	f.Add("# " + strings.Repeat("x", 70*1024) + "\nW 0 4096\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		ops, err := ParseTrace(strings.NewReader(input))
 		if err != nil {

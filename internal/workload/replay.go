@@ -4,20 +4,32 @@ import (
 	"fmt"
 
 	"ssdtp/internal/blockdev"
-	"ssdtp/internal/ssd"
 	"ssdtp/internal/stats"
 )
 
 // Replay drives a recorded block trace (from blockdev.Tracer) against a
-// device, preserving order, and returns per-operation latency statistics.
+// target, preserving order, and returns per-operation latency statistics.
 // Record once on one device model, replay on another: the cross-device
 // comparisons of the paper's Figure 1 argument, without re-running the
 // application.
-func Replay(dev *ssd.Device, ops []blockdev.Op) Result {
+//
+// Traces recorded on a larger device are folded into the target's address
+// space (see clampOff). Operations that cannot be played at all — a length
+// larger than the whole target, zero/negative lengths, or offsets/lengths the
+// target rejects as unaligned — are skipped and counted in Result.SkippedOps
+// rather than aborting the replay: a foreign trace with a handful of
+// oversized ops still yields the latency comparison the caller wanted.
+// Failures the device reports for ops that passed validation, and a replay
+// whose simulation stalls, return an error.
+func Replay(dev Target, ops []blockdev.Op) (Result, error) {
 	eng := dev.Engine()
 	res := Result{Name: "replay", Latency: stats.NewLatencyRecorder()}
 	start := eng.Now()
-	for _, op := range ops {
+	for i, op := range ops {
+		if !replayable(dev, op) {
+			res.SkippedOps++
+			continue
+		}
 		opStart := eng.Now()
 		done := false
 		complete := func() { done = true }
@@ -34,23 +46,41 @@ func Replay(dev *ssd.Device, ops []blockdev.Op) Result {
 		case blockdev.OpFlush:
 			err = dev.FlushAsync(complete)
 		default:
+			res.SkippedOps++
 			continue
 		}
 		if err != nil {
-			panic(fmt.Sprintf("workload: replay op %+v: %v", op, err))
+			return res, fmt.Errorf("workload: replay op %d %+v: %w", i, op, err)
 		}
-		eng.RunWhile(func() bool { return !done })
+		if eng.RunWhile(func() bool { return !done }) {
+			return res, fmt.Errorf("workload: replay op %d %+v: simulation stalled before completion", i, op)
+		}
 		res.Requests++
 		res.Latency.Record(eng.Now() - opStart)
 	}
 	res.Duration = eng.Now() - start
-	return res
+	return res, nil
+}
+
+// replayable reports whether op can be issued against dev at all: flushes
+// always can; reads/writes/trims need a positive, sector-aligned length no
+// larger than the device and a non-negative, aligned offset (the offset is
+// folded into range by clampOff, but alignment and length cannot be
+// repaired without changing what the trace meant).
+func replayable(dev Target, op blockdev.Op) bool {
+	if op.Kind == blockdev.OpFlush {
+		return true
+	}
+	sector := int64(dev.SectorSize())
+	return op.Len > 0 && op.Len <= dev.Size() && op.Off >= 0 &&
+		op.Len%sector == 0 && op.Off%sector == 0
 }
 
 // clampOff folds trace offsets into the target device's address space so a
 // trace recorded on a larger device replays on a smaller one (the fold
-// preserves locality within the wrapped region).
-func clampOff(dev *ssd.Device, off, n int64) int64 {
+// preserves locality within the wrapped region). The caller has already
+// checked n <= Size (replayable), so the folded range always fits.
+func clampOff(dev Target, off, n int64) int64 {
 	size := dev.Size()
 	if off+n <= size {
 		return off

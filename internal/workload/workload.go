@@ -11,9 +11,34 @@ import (
 	"math/rand"
 
 	"ssdtp/internal/sim"
-	"ssdtp/internal/ssd"
 	"ssdtp/internal/stats"
 )
+
+// Target is what a generator drives: any asynchronous block target on a
+// simulation engine. *ssd.Device satisfies it directly; the fleet layer's
+// per-tenant volumes (internal/fleet) satisfy it too, so the same generators
+// that measure one drive produce the multi-tenant traffic of a
+// thousands-of-drives placement tier. All offsets and lengths are bytes and
+// must be SectorSize-aligned; done callbacks fire on the target's engine.
+type Target interface {
+	// Engine returns the engine that drives the target; generators schedule
+	// their arrival processes and run their completion waits on it.
+	Engine() *sim.Engine
+	// Size returns the target's capacity in bytes.
+	Size() int64
+	// SectorSize returns the alignment unit in bytes.
+	SectorSize() int
+	// WriteAsync submits a write; done fires at completion. data may be nil
+	// for timing-only workloads.
+	WriteAsync(off int64, data []byte, length int64, done func()) error
+	// ReadAsync submits a read; done fires when the data is available. buf
+	// may be nil for timing-only workloads.
+	ReadAsync(off int64, buf []byte, length int64, done func()) error
+	// TrimAsync discards a range.
+	TrimAsync(off, length int64, done func()) error
+	// FlushAsync drains volatile write state; done fires once settled.
+	FlushAsync(done func()) error
+}
 
 // Pattern selects an access pattern.
 type Pattern int
@@ -95,6 +120,10 @@ type Result struct {
 	Latency      *stats.LatencyRecorder
 	// Timeline holds completions per TimelineInterval bucket (see Options).
 	Timeline []int64
+	// SkippedOps counts trace operations Replay could not issue against the
+	// target (oversized, misaligned, or unknown kinds). Always 0 for
+	// generated workloads.
+	SkippedOps int64
 }
 
 // IOPS returns completed requests per simulated second.
@@ -121,10 +150,10 @@ func (r Result) String() string {
 		r.Latency.Max()/sim.Microsecond)
 }
 
-// generator drives one Spec against a device.
+// generator drives one Spec against a target.
 type generator struct {
 	spec     Spec
-	dev      *ssd.Device
+	dev      Target
 	rng      *rand.Rand
 	deadline sim.Time
 	maxReqs  int64
@@ -173,13 +202,14 @@ func (g *generator) nextOffset() int64 {
 		if hot < 1 {
 			hot = 1
 		}
-		if g.rng.Float64() < haf {
+		// When the hot region covers the whole section (a section holding a
+		// single request, or HotFrac ~ 1), there is no cold region to pick
+		// from: every access is hot. Without the guard the cold branch would
+		// call Int63n(0), which panics.
+		if cold := reqs - hot; cold <= 0 || g.rng.Float64() < haf {
 			slot = g.rng.Int63n(hot)
 		} else {
-			slot = hot + g.rng.Int63n(reqs-hot)
-			if slot >= reqs {
-				slot = reqs - 1
-			}
+			slot = hot + g.rng.Int63n(cold)
 		}
 	}
 	return off + slot*int64(g.spec.RequestBytes)
@@ -338,17 +368,35 @@ type Options struct {
 }
 
 // Run executes one workload to completion and returns its result. The
-// device's engine is driven inside.
-func Run(dev *ssd.Device, spec Spec, opt Options) Result {
+// target's engine is driven inside.
+func Run(dev Target, spec Spec, opt Options) Result {
 	results := RunConcurrent(dev, []Spec{spec}, opt)
 	return results[0]
 }
 
-// RunConcurrent executes several workloads simultaneously on one device —
+// RunConcurrent executes several workloads simultaneously on one target —
 // the paper's mixed-workload experiment (§2.2, Figure 4b). Each workload
 // keeps its own queue depth and section; results are per-workload.
-func RunConcurrent(dev *ssd.Device, specs []Spec, opt Options) []Result {
-	eng := dev.Engine()
+func RunConcurrent(dev Target, specs []Spec, opt Options) []Result {
+	targets := make([]Target, len(specs))
+	for i := range targets {
+		targets[i] = dev
+	}
+	return RunMulti(targets, specs, opt)
+}
+
+// RunMulti executes specs[i] against targets[i], all driven by one shared
+// engine — the fleet layer's multi-tenant traffic mix, where each tenant's
+// generator writes into its own placement-tier volume. All targets must
+// return the same Engine; results are per-workload, in spec order.
+func RunMulti(targets []Target, specs []Spec, opt Options) []Result {
+	if len(targets) != len(specs) {
+		panic("workload: RunMulti targets and specs must pair up")
+	}
+	if len(specs) == 0 {
+		return nil
+	}
+	eng := targets[0].Engine()
 	if opt.Duration <= 0 && opt.MaxRequests <= 0 {
 		panic("workload: Options must bound the run")
 	}
@@ -361,6 +409,9 @@ func RunConcurrent(dev *ssd.Device, specs []Spec, opt Options) []Result {
 	remaining := len(specs)
 	for i := range specs {
 		spec := specs[i]
+		if targets[i].Engine() != eng {
+			panic("workload: RunMulti targets must share one engine")
+		}
 		if spec.QueueDepth <= 0 {
 			spec.QueueDepth = 1
 		}
@@ -370,7 +421,7 @@ func RunConcurrent(dev *ssd.Device, specs []Spec, opt Options) []Result {
 		results[i] = Result{Name: spec.Name, Latency: stats.NewLatencyRecorder()}
 		g := &generator{
 			spec:         spec,
-			dev:          dev,
+			dev:          targets[i],
 			rng:          rand.New(rand.NewSource(spec.Seed + 1)),
 			deadline:     deadline,
 			maxReqs:      opt.MaxRequests,

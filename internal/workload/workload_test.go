@@ -168,7 +168,10 @@ func TestReplayTrace(t *testing.T) {
 		{Kind: blockdev.OpTrim, Off: 65536, Len: 16384},
 	}
 	dev := testDev(t)
-	res := Replay(dev, trace)
+	res, err := Replay(dev, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Requests != 5 {
 		t.Fatalf("requests = %d", res.Requests)
 	}
@@ -186,9 +189,65 @@ func TestReplayClampsOversizedOffsets(t *testing.T) {
 		{Kind: blockdev.OpWrite, Off: dev.Size() * 4, Len: 4096},
 		{Kind: blockdev.OpRead, Off: dev.Size() * 7, Len: 4096},
 	}
-	res := Replay(dev, trace) // must not panic
+	res, err := Replay(dev, trace) // must not panic
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Requests != 2 {
 		t.Fatalf("requests = %d", res.Requests)
+	}
+}
+
+// TestReplaySkipsUnplayableOps pins the oversized-op fix: an op whose length
+// exceeds the whole device used to fold to offset 0 but still issue the full
+// length, panicking deep inside the device. Replay must skip it (counted in
+// SkippedOps), play the rest, and never panic.
+func TestReplaySkipsUnplayableOps(t *testing.T) {
+	dev := testDev(t)
+	trace := []blockdev.Op{
+		{Kind: blockdev.OpWrite, Off: 0, Len: dev.Size() * 2}, // longer than the device
+		{Kind: blockdev.OpWrite, Off: 0, Len: 0},              // zero length
+		{Kind: blockdev.OpRead, Off: 4096, Len: -4096},        // negative length
+		{Kind: blockdev.OpWrite, Off: 123, Len: 4096},         // misaligned offset
+		{Kind: blockdev.OpWrite, Off: 0, Len: 4096},           // playable
+		{Kind: blockdev.OpFlush},                              // playable
+	}
+	res, err := Replay(dev, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SkippedOps != 4 {
+		t.Errorf("SkippedOps = %d, want 4", res.SkippedOps)
+	}
+	if res.Requests != 2 {
+		t.Errorf("requests = %d, want 2", res.Requests)
+	}
+}
+
+// TestHotspotTinySection pins the degenerate-split fix: a section holding a
+// single request makes the hot region cover everything (hot == reqs), and the
+// cold branch used to call rng.Int63n(0) and panic.
+func TestHotspotTinySection(t *testing.T) {
+	dev := testDev(t)
+	res := Run(dev, Spec{
+		Name: "tiny", Pattern: Hotspot, RequestBytes: 4096,
+		Offset: 0, Length: 4096, Seed: 5,
+	}, Options{MaxRequests: 50})
+	if res.Requests != 50 {
+		t.Fatalf("requests = %d, want 50", res.Requests)
+	}
+}
+
+// TestHotspotFullHotFrac covers the other degenerate split: HotFrac ~ 1
+// makes every request hot even in a large section.
+func TestHotspotFullHotFrac(t *testing.T) {
+	dev := testDev(t)
+	res := Run(dev, Spec{
+		Name: "allhot", Pattern: Hotspot, RequestBytes: 4096,
+		HotFrac: 1.0, HotAccessFrac: 0.8, Length: 1 << 20, Seed: 5,
+	}, Options{MaxRequests: 50})
+	if res.Requests != 50 {
+		t.Fatalf("requests = %d, want 50", res.Requests)
 	}
 }
 
@@ -260,6 +319,50 @@ func TestParseTraceCommentsAndErrors(t *testing.T) {
 	}
 	if _, err := ParseTrace(strings.NewReader("W 5\n")); err == nil {
 		t.Error("short line accepted")
+	}
+}
+
+// TestParseTraceValidation pins the stricter parser: negative offsets,
+// non-positive lengths, F lines with trailing fields, and over-long lines
+// must be rejected with the offending line number in the error, while long
+// comment lines (past bufio.Scanner's old 64 KiB default) must parse.
+func TestParseTraceValidation(t *testing.T) {
+	reject := []struct {
+		name, input, wantLine string
+	}{
+		{"negative offset", "W 0 4096\nR -1 4096\n", "line 2"},
+		{"zero length", "W 0 0\n", "line 1"},
+		{"negative length", "W 0 -4096\n", "line 1"},
+		{"flush with fields", "F extra\n", "line 1"},
+		{"trailing fields", "W 0 4096 9\n", "line 1"},
+		{"non-integer offset", "W x 4096\n", "line 1"},
+		{"non-integer length", "W 0 4k\n", "line 1"},
+		{"overflow", "W 0 99999999999999999999\n", "line 1"},
+	}
+	for _, tc := range reject {
+		_, err := ParseTrace(strings.NewReader(tc.input))
+		if err == nil {
+			t.Errorf("%s: accepted %q", tc.name, tc.input)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantLine) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.wantLine)
+		}
+	}
+
+	// A comment line longer than the old 64 KiB scanner cap must parse now.
+	long := "# " + strings.Repeat("x", 100*1024) + "\nW 0 4096\n"
+	ops, err := ParseTrace(strings.NewReader(long))
+	if err != nil || len(ops) != 1 {
+		t.Errorf("long comment line: ops=%d err=%v", len(ops), err)
+	}
+
+	// A line beyond maxTraceLine still errors, but with a line number.
+	huge := "W 0 4096\n# " + strings.Repeat("y", maxTraceLine+1) + "\n"
+	if _, err := ParseTrace(strings.NewReader(huge)); err == nil {
+		t.Error("over-limit line accepted")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("over-limit error %q does not name line 2", err)
 	}
 }
 
