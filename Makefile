@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all test vet bench bench-diff reproduce reproduce-full cover clean
+.PHONY: all test vet bench bench-diff determinism reproduce reproduce-full cover clean
 
 all: test vet
 
@@ -12,11 +12,21 @@ vet:
 	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
 
 bench:
-	scripts/bench.sh BENCH_6.json
+	scripts/bench.sh BENCH_7.json
 
 # Gate the scheduler/stats hot paths against the previous committed baseline.
 bench-diff:
-	$(GO) run ./cmd/benchdiff -filter 'BenchmarkEngine|BenchmarkRecorder' BENCH_5.json BENCH_6.json
+	$(GO) run ./cmd/benchdiff -filter 'BenchmarkEngine|BenchmarkRecorder' BENCH_6.json BENCH_7.json
+
+# The parallel-engine determinism suite at several scheduler widths: the
+# sharded fleet pump and the cell pool must be byte-identical to serial under
+# a single OS thread, a narrow one, and a wide one.
+determinism:
+	for p in 1 2 8; do \
+		GOMAXPROCS=$$p $(GO) test ./internal/experiments/ ./internal/fleet/ \
+			-run 'TestShardByteIdenticalAcrossWorkers|TestParallelOutputByteIdentical|TestTraceByteIdenticalAcrossWorkers|TestParallel' \
+			-count=1 || exit 1; \
+	done
 
 reproduce:
 	$(GO) run ./cmd/reproduce

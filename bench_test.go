@@ -240,6 +240,22 @@ func BenchmarkFleetTail(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetTailShard is BenchmarkFleetTail with the drive-shard engine
+// forced on at 8 workers (DESIGN.md §11): each fleet cell advances
+// independent drives concurrently inside conservative lookahead windows.
+// Output is identical to the serial pump — this measures only the
+// wall-clock effect, and the comparison against BenchmarkFleetTail is only
+// meaningful with spare cores: on a single-CPU host it reports the pure
+// window/merge overhead (the price of forcing -shard above the core count),
+// not a speedup.
+func BenchmarkFleetTailShard(b *testing.B) {
+	experiments.SetShard(8)
+	defer experiments.SetShard(1)
+	for i := 0; i < b.N; i++ {
+		experiments.FleetTail(experiments.Quick, int64(i)+1)
+	}
+}
+
 func BenchmarkTabS2ProbeRate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res := experiments.TabS2ProbeRate(experiments.Quick, int64(i)+1)

@@ -24,20 +24,28 @@
 // per cell via drive-state snapshots; -snapshot-cache=false rebuilds every
 // cell from scratch instead. Output is byte-identical either way.
 //
+// The fleet experiment additionally shards its drives across -shard workers
+// inside each cell (conservative-lookahead windows; see internal/fleet).
+// Like -parallel, -shard never shows through in any output.
+//
+// Every output path (-trace, -trace-perfetto, -timeline, -metrics, the -csv
+// directory) is opened and validated before any experiment runs, so a bad
+// path fails in milliseconds rather than after a long -full regeneration.
+//
 // Usage:
 //
-//	reproduce [-run fig1,fig2,fig3,fig4a,fig4b,fig5,fig6,fleet|all] [-full] [-seed N] [-parallel N] [-quiet] [-trace FILE] [-trace-perfetto FILE] [-trace-cap N] [-timeline FILE] [-timeline-ms N] [-metrics FILE] [-http ADDR] [-snapshot-cache=false]
+//	reproduce [-run fig1,fig2,fig3,fig4a,fig4b,fig5,fig6,fleet|all] [-full] [-seed N] [-parallel N] [-shard N] [-quiet] [-trace FILE] [-trace-perfetto FILE] [-trace-cap N] [-timeline FILE] [-timeline-ms N] [-metrics FILE] [-http ADDR] [-snapshot-cache=false]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
+	"ssdtp/internal/cliutil"
 	"ssdtp/internal/experiments"
 	"ssdtp/internal/obs"
 	"ssdtp/internal/runner"
@@ -50,6 +58,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "experiment seed")
 	csvDir := flag.String("csv", "", "also write plottable CSV series into this directory")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment cells run concurrently (results are identical for any value)")
+	shard := flag.Int("shard", runtime.GOMAXPROCS(0), "fleet-experiment drive shards advanced concurrently within a cell (results are identical for any value)")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines on stderr")
 	traceFile := flag.String("trace", "", "write a JSONL span trace of the traced experiments to this file")
 	perfettoFile := flag.String("trace-perfetto", "", "write a Chrome trace-event/Perfetto JSON trace of the traced experiments to this file")
@@ -61,7 +70,20 @@ func main() {
 	snapCache := flag.Bool("snapshot-cache", true, "build each distinct preconditioned drive/file-system image once and clone it per cell (results are identical either way)")
 	flag.Parse()
 
+	// Open and validate every output destination before any experiment runs:
+	// a bad -metrics path must fail now, not after a multi-minute -full
+	// regeneration (and with the flag it belongs to, not a bare OS error).
+	traceOut := cliutil.MustOpen("trace", *traceFile)
+	perfettoOut := cliutil.MustOpen("trace-perfetto", *perfettoFile)
+	timelineOut := cliutil.MustOpen("timeline", *timelineFile)
+	metricsOut := cliutil.MustOpen("metrics", *metricsFile)
+	if err := cliutil.Dir("csv", *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	experiments.SetSnapshotCache(*snapCache)
+	experiments.SetShard(*shard)
 
 	tracker := runner.NewTracker()
 	progress := func(ev runner.Event) {
@@ -80,12 +102,12 @@ func main() {
 	experiments.SetPool(&runner.Pool{Workers: *parallel, Progress: progress})
 
 	var col *obs.Collector
-	if *traceFile != "" || *perfettoFile != "" || *timelineFile != "" || *metricsFile != "" || *httpAddr != "" {
+	if traceOut.Enabled() || perfettoOut.Enabled() || timelineOut.Enabled() || metricsOut.Enabled() || *httpAddr != "" {
 		col = obs.NewCollector()
 		if *traceCap != 0 {
 			col.SetRecordCap(*traceCap)
 		}
-		if *timelineFile != "" {
+		if timelineOut.Enabled() {
 			col.SetTimeline(sim.Time(*timelineMS) * sim.Millisecond)
 		}
 		experiments.SetObserver(col)
@@ -99,48 +121,34 @@ func main() {
 		defer shutdown()
 		fmt.Fprintf(os.Stderr, "(ops endpoint on http://%s)\n", addr)
 	}
-	writeObs := func(path string, write func(f *os.File) error) {
-		if path == "" || col == nil {
+	writeObs := func(o *cliutil.Out, write func(f *os.File) error) {
+		if !o.Enabled() {
 			return
 		}
-		f, err := os.Create(path)
-		if err != nil {
+		if err := o.Finish(write); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := write(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "(wrote %s)\n", path)
+		fmt.Fprintf(os.Stderr, "(wrote %s)\n", o.Path())
 	}
 	flushObs := func() {
-		writeObs(*traceFile, func(f *os.File) error { return col.WriteJSONL(f) })
-		writeObs(*perfettoFile, func(f *os.File) error { return col.WritePerfetto(f) })
-		writeObs(*timelineFile, func(f *os.File) error { return col.WriteTimelineCSV(f) })
-		writeObs(*metricsFile, func(f *os.File) error { return col.WriteMetrics(f) })
+		writeObs(traceOut, func(f *os.File) error { return col.WriteJSONL(f) })
+		writeObs(perfettoOut, func(f *os.File) error { return col.WritePerfetto(f) })
+		writeObs(timelineOut, func(f *os.File) error { return col.WriteTimelineCSV(f) })
+		writeObs(metricsOut, func(f *os.File) error { return col.WriteMetrics(f) })
 	}
 
 	writeCSV := func(name string, header string, rows func(w *os.File)) {
 		if *csvDir == "" {
 			return
 		}
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		path := filepath.Join(*csvDir, name)
-		f, err := os.Create(path)
+		f, path, err := cliutil.Create("csv", *csvDir, name)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		if _, err := fmt.Fprintln(f, header); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(os.Stderr, "-csv %s: %v\n", path, err)
 			os.Exit(1)
 		}
 		rows(f)
@@ -148,7 +156,7 @@ func main() {
 		// disk flushing buffered data) — a silently truncated CSV must not
 		// look like success.
 		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			fmt.Fprintf(os.Stderr, "-csv %s: %v\n", path, err)
 			os.Exit(1)
 		}
 		fmt.Printf("(wrote %s)\n", path)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 
+	"ssdtp/internal/cliutil"
 	"ssdtp/internal/fleet"
 	"ssdtp/internal/obs"
 	"ssdtp/internal/runner"
@@ -19,6 +20,7 @@ type fleetOpts struct {
 	tenants  int
 	policy   string // stripe|hash
 	stripeKB int64
+	shard    int
 
 	pattern    workload.Pattern
 	size       int
@@ -30,7 +32,7 @@ type fleetOpts struct {
 	prefill    bool
 
 	col                                            *obs.Collector
-	traceFile, perfettoFile, timelineFile, metrics string
+	traceOut, perfettoOut, timelineOut, metricsOut *cliutil.Out
 	showSMART                                      bool
 }
 
@@ -87,6 +89,7 @@ func runFleet(cfg ssd.Config, o fleetOpts) {
 		devs[i] = dev
 	}
 	f := fleet.New(host, devs, stripe)
+	f.SetParallel(o.shard)
 	if tr != nil {
 		f.BindObs(tr)
 	}
@@ -146,10 +149,10 @@ func runFleet(cfg ssd.Config, o fleetOpts) {
 	if tr != nil {
 		f.PublishMetrics(tr)
 		o.col.MarkDone(label)
-		writeObsFile(o.traceFile, func(w *os.File) error { return tr.WriteJSONL(w) })
-		writeObsFile(o.perfettoFile, func(w *os.File) error { return tr.WritePerfetto(w) })
-		writeObsFile(o.timelineFile, func(w *os.File) error { return tr.WriteTimelineCSV(w) })
-		writeObsFile(o.metrics, func(w *os.File) error { return tr.WriteMetrics(w) })
+		writeObsFile(o.traceOut, func(w *os.File) error { return tr.WriteJSONL(w) })
+		writeObsFile(o.perfettoOut, func(w *os.File) error { return tr.WritePerfetto(w) })
+		writeObsFile(o.timelineOut, func(w *os.File) error { return tr.WriteTimelineCSV(w) })
+		writeObsFile(o.metricsOut, func(w *os.File) error { return tr.WriteMetrics(w) })
 	}
 }
 
@@ -179,24 +182,16 @@ func fleetVolBytes(driveSize int64, groups [][]int, drives int, stripe int64) in
 	return best / stripe * stripe
 }
 
-// writeObsFile writes one observability export, or does nothing when no path
-// was requested.
-func writeObsFile(path string, write func(f *os.File) error) {
-	if path == "" {
+// writeObsFile delivers one observability export into its startup-opened
+// destination, or does nothing when the flag was not given. Errors arrive
+// already wrapped with the owning flag and path.
+func writeObsFile(o *cliutil.Out, write func(f *os.File) error) {
+	if !o.Enabled() {
 		return
 	}
-	f, err := os.Create(path)
-	if err != nil {
+	if err := o.Finish(write); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if err := write(f); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if err := f.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "(wrote %s)\n", path)
+	fmt.Fprintf(os.Stderr, "(wrote %s)\n", o.Path())
 }

@@ -11,16 +11,24 @@
 // instead: N drives of the chosen model behind a placement layer
 // (-placement stripe|hash, -stripe-kb), shared by -tenants copies of the
 // workload with distinct seeds, reporting per-tenant tail percentiles and GC
-// blast radius:
+// blast radius. -shard N advances independent drives concurrently inside
+// conservative lookahead windows (see internal/fleet); every output is
+// byte-identical for any value:
 //
-//	ssdfio -fleet 64 -tenants 4 -placement hash -model mqsim-base -ms 200
+//	ssdfio -fleet 64 -tenants 4 -placement hash -model mqsim-base -ms 200 [-shard N]
+//
+// All output-file flags are opened and validated before the simulation
+// starts, and write failures are reported with the flag and path they
+// belong to.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"ssdtp/internal/cliutil"
 	"ssdtp/internal/obs"
 	"ssdtp/internal/sim"
 	"ssdtp/internal/ssd"
@@ -50,6 +58,7 @@ func main() {
 	tenants := flag.Int("tenants", 4, "fleet mode: tenants sharing the tier, each running the flag-configured workload")
 	placement := flag.String("placement", "stripe", "fleet mode: placement policy: stripe|hash")
 	stripeKB := flag.Int64("stripe-kb", 256, "fleet mode: placement stripe size in KiB")
+	shard := flag.Int("shard", runtime.GOMAXPROCS(0), "fleet mode: drive shards advanced concurrently (results are identical for any value)")
 	flag.Parse()
 
 	cfg, err := modelByName(*model)
@@ -57,14 +66,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// Open every requested output before the simulation starts: a bad path
+	// fails here, flag-attributed, not after the run has burned its CPU time.
+	traceOut := cliutil.MustOpen("trace", *traceFile)
+	perfettoOut := cliutil.MustOpen("trace-perfetto", *perfettoFile)
+	timelineOut := cliutil.MustOpen("timeline", *timelineFile)
+	metricsOut := cliutil.MustOpen("metrics", *metricsFile)
 	var tr *obs.Tracer
 	var col *obs.Collector
-	if *traceFile != "" || *perfettoFile != "" || *timelineFile != "" || *metricsFile != "" || *httpAddr != "" {
+	if traceOut.Enabled() || perfettoOut.Enabled() || timelineOut.Enabled() || metricsOut.Enabled() || *httpAddr != "" {
 		col = obs.NewCollector()
 		if *traceCap != 0 {
 			col.SetRecordCap(*traceCap)
 		}
-		if *timelineFile != "" {
+		if timelineOut.Enabled() {
 			itv := *timelineMS
 			if itv <= 0 {
 				itv = 10
@@ -102,10 +117,11 @@ func main() {
 		}
 		runFleet(cfg, fleetOpts{
 			drives: *fleetN, tenants: *tenants, policy: *placement, stripeKB: *stripeKB,
+			shard:   *shard,
 			pattern: pat, size: *size, qd: *qd, intervalUS: *intervalUS,
 			readFrac: *readFrac, seed: *seed, ms: *ms, prefill: *prefill,
-			col: col, traceFile: *traceFile, perfettoFile: *perfettoFile,
-			timelineFile: *timelineFile, metrics: *metricsFile, showSMART: *showSMART,
+			col: col, traceOut: traceOut, perfettoOut: perfettoOut,
+			timelineOut: timelineOut, metricsOut: metricsOut, showSMART: *showSMART,
 		})
 		return
 	}
@@ -127,32 +143,13 @@ func main() {
 		tr.Resume()
 	}
 
-	writeObs := func(path string, write func(f *os.File) error) {
-		if path == "" || tr == nil {
-			return
-		}
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := write(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "(wrote %s)\n", path)
-	}
 	flushObs := func() {
 		dev.PublishMetrics(tr)
 		col.MarkDone(*model)
-		writeObs(*traceFile, func(f *os.File) error { return tr.WriteJSONL(f) })
-		writeObs(*perfettoFile, func(f *os.File) error { return tr.WritePerfetto(f) })
-		writeObs(*timelineFile, func(f *os.File) error { return tr.WriteTimelineCSV(f) })
-		writeObs(*metricsFile, func(f *os.File) error { return tr.WriteMetrics(f) })
+		writeObsFile(traceOut, func(f *os.File) error { return tr.WriteJSONL(f) })
+		writeObsFile(perfettoOut, func(f *os.File) error { return tr.WritePerfetto(f) })
+		writeObsFile(timelineOut, func(f *os.File) error { return tr.WriteTimelineCSV(f) })
+		writeObsFile(metricsOut, func(f *os.File) error { return tr.WriteMetrics(f) })
 	}
 
 	if *replayFile != "" {

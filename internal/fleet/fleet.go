@@ -21,6 +21,20 @@
 // the armed pump — the interleaving is total, deterministic, and independent
 // of host-side worker counts.
 //
+// # Parallel prefetch
+//
+// With SetParallel, the pump additionally opens conservative-lookahead
+// windows (DESIGN.md §11): drives are shards of a sim.ShardGroup whose
+// per-shard floor is ssd.Device.CompletionFloor, so the group horizon — also
+// capped by the host engine's next event and the cell tracer's next timeline
+// boundary — bounds when any drive can next call back into host state.
+// Everything strictly before the horizon is drive-internal and fires
+// concurrently across worker goroutines; the instants those batches fired at
+// come back from AdvanceBefore, and the pump re-arms through them as "ghost"
+// pumps so the host engine sees the exact event stream (count, times,
+// sequence numbers, hook calls) the serial pump would have produced. Output
+// therefore stays byte-identical at any worker count.
+//
 // # Attribution
 //
 // Each drive's latency-attribution profiler (obs.Profiler) gets a row sink,
@@ -77,6 +91,20 @@ type Fleet struct {
 	pump   sim.Event
 	vols   []*Volume
 	tr     *obs.Tracer // cell tracer from BindObs; carries tenant-request spans
+
+	// group shards the drive engines for conservative-lookahead prefetch;
+	// parallel gates it (SetParallel). ghosts are the fleet times of batches
+	// a window already fired, still owed one pump firing each so the host
+	// engine's event stream matches the serial pump's exactly. prefetching
+	// is the in-window assertion flag: a host-visible completion while it is
+	// set means a drive violated its completion floor.
+	group       *sim.ShardGroup
+	parallel    bool
+	ghosts      []sim.Time
+	prefetching bool
+	// prefetchedBatches counts event batches fired inside windows — coverage
+	// telemetry for tests; never exported (it would differ from serial runs).
+	prefetchedBatches int64
 }
 
 // New assembles a tier over devs on the host engine eng. Each device must be
@@ -91,6 +119,7 @@ func New(eng *sim.Engine, devs []*ssd.Device, stripeBytes int64) *Fleet {
 		panic(fmt.Sprintf("fleet: stripe %d not a positive multiple of sector %d", stripeBytes, f.sector))
 	}
 	f.drives = make([]*drive, len(devs))
+	f.group = sim.NewShardGroup(1)
 	for i, dev := range devs {
 		if dev.Engine() == eng {
 			panic("fleet: drives must not share the host engine")
@@ -105,10 +134,28 @@ func New(eng *sim.Engine, devs []*ssd.Device, stripeBytes int64) *Fleet {
 				d.hasRow = true
 			})
 		}
+		dev.TrackCompletions()
+		f.group.Attach(d.eng, d.base, func() (sim.Time, bool) {
+			t, ok := d.dev.CompletionFloor()
+			if !ok {
+				return 0, false
+			}
+			return t - d.base, true
+		})
 		f.drives[i] = d
 	}
 	f.armPump()
 	return f
+}
+
+// SetParallel turns conservative-lookahead prefetch on with the given worker
+// count, or off again with workers <= 1 (the default). Output is byte-
+// identical at every setting; parallelism only changes wall-clock time.
+func (f *Fleet) SetParallel(workers int) {
+	f.parallel = workers > 1
+	if f.parallel {
+		f.group.SetWorkers(workers)
+	}
 }
 
 // Engine returns the host engine.
@@ -149,12 +196,17 @@ func (f *Fleet) nextDriveTime() (sim.Time, bool) {
 	return best, found
 }
 
-// armPump (re)schedules the pump at the earliest pending drive event. The
-// invariant — no drive event is due before the armed pump — holds because
-// drives only gain events while being stepped or synced at fleet-now, so
-// every new event's fleet time is >= now.
+// armPump (re)schedules the pump at the earliest pending drive event — or,
+// when a prefetch window left ghost instants to replay, at the next ghost
+// (always earlier than every remaining drive event). The invariant — no
+// drive event is due before the armed pump — holds because drives only gain
+// events while being stepped or synced at fleet-now, so every new event's
+// fleet time is >= now.
 func (f *Fleet) armPump() {
 	next, ok := f.nextDriveTime()
+	if len(f.ghosts) > 0 {
+		next, ok = f.ghosts[0], true
+	}
 	if f.pump.Pending() {
 		if ok && f.pump.Time() == next {
 			return
@@ -170,33 +222,55 @@ func (f *Fleet) armPump() {
 	f.pump = f.eng.At(next, f.pumpFire)
 }
 
-// pumpFire steps every due drive event in (fleet time, drive index) order,
-// then re-arms. Completion callbacks fired here run tenant logic (latency
-// recording, follow-on submissions) at the correct host-clock instant.
+// pumpFire steps every due drive event in (fleet time, drive index) order —
+// sim.ShardGroup's total order over the drive shards — then, in parallel
+// mode with no ghosts left to replay, opens the next prefetch window before
+// re-arming. Completion callbacks fired here run tenant logic (latency
+// recording, follow-on submissions) at the correct host-clock instant. At a
+// ghost instant the due-event step is a no-op (the window already fired that
+// batch); the firing itself keeps the host engine's event stream identical
+// to the serial pump's.
 func (f *Fleet) pumpFire() {
 	now := f.eng.Now()
-	for {
-		best := -1
-		var bt sim.Time
-		for i, d := range f.drives {
-			t, ok := d.eng.NextEventTime()
-			if !ok {
-				continue
-			}
-			if g := t - d.base; g <= now && (best < 0 || g < bt) {
-				best, bt = i, g
-			}
-		}
-		if best < 0 {
-			break
-		}
-		// Advance only to the minimum: draining a drive all the way to now
-		// here could fire its later events before another drive's earlier
-		// ones, breaking the (fleet time, drive index) total order.
-		d := f.drives[best]
-		d.eng.RunUntil(d.base + bt)
+	if len(f.ghosts) > 0 && f.ghosts[0] == now {
+		f.ghosts = f.ghosts[1:]
+	}
+	f.group.RunUntil(now)
+	if f.parallel && len(f.ghosts) == 0 {
+		f.prefetch()
 	}
 	f.armPump()
+}
+
+// prefetch opens one conservative-lookahead window: every drive event
+// strictly before the horizon is internal to its drive, so the group fires
+// them concurrently. The horizon is the minimum of the host engine's next
+// event (no submission may land on a drive that has run ahead of it) and
+// every busy drive's completion floor (no host-visible completion may fire
+// inside the window), further capped by the cell tracer's next timeline
+// boundary (a boundary row samples current drive state at the first host
+// event past it, so no drive may run ahead of an unsampled boundary).
+//
+// With neither a host event pending nor a request outstanding anywhere, the
+// window stays shut: the host run loop can only decide to stop at such a
+// point (workload generators signal done when their last request drains),
+// and events fired beyond its last instant would diverge from the serial
+// run's final drive state. The timeline cap deliberately cannot open a
+// window on its own — it only tightens one justified by the host queue or a
+// floor.
+func (f *Fleet) prefetch() {
+	limit, bounded := f.eng.NextEventTime()
+	h, ok := f.group.Horizon(limit, bounded)
+	if !ok {
+		return
+	}
+	if tb, tok := f.tr.NextTimelineBoundary(); tok && tb < h {
+		h = tb
+	}
+	f.prefetching = true
+	f.ghosts = f.group.AdvanceBefore(h, true)
+	f.prefetching = false
+	f.prefetchedBatches += int64(len(f.ghosts))
 }
 
 // volRow is one tenant request's blast-radius accounting: end-to-end latency
@@ -386,6 +460,9 @@ func (v *Volume) submit(kind opKind, off, length int64, done func()) error {
 		v.f.syncDrive(d)
 		v.subRequests++
 		subDone := func() {
+			if v.f.prefetching {
+				panic("fleet: completion inside a prefetch window (drive violated its completion floor)")
+			}
 			if row, ok := d.takeRow(); ok {
 				g := row.Phases[obs.PhaseGCStall]
 				gc += g
@@ -462,6 +539,9 @@ func (v *Volume) FlushAsync(done func()) error {
 		d := v.f.drives[di]
 		v.f.syncDrive(d)
 		err := d.dev.FlushAsync(func() {
+			if v.f.prefetching {
+				panic("fleet: flush completion inside a prefetch window (drive violated its completion floor)")
+			}
 			d.takeRow() // consume; flush rows don't charge a request
 			remaining--
 			if remaining == 0 && done != nil {

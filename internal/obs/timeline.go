@@ -113,6 +113,24 @@ func (t *Tracer) SetTimelineSampler(fn func(*TimelineSample)) {
 	t.tl.sample = fn
 }
 
+// NextTimelineBoundary returns the simulated time of the next sampling
+// boundary, or ok=false when no timeline is active (none configured, no
+// sampler bound, or sampling suspended). The parallel fleet engine caps its
+// lookahead here: a boundary samples *current* device state at the first
+// event at or past it, so no event beyond the boundary may fire before the
+// row is captured. Before the first observation anchors the boundary grid,
+// it conservatively returns the current anchor state as time 0 with ok=true
+// via (0, true) — callers treat that as "no lookahead until anchored".
+func (t *Tracer) NextTimelineBoundary() (sim.Time, bool) {
+	if t == nil || t.tl == nil || t.tl.sample == nil || t.suspended {
+		return 0, false
+	}
+	if !t.tl.inited {
+		return 0, true
+	}
+	return t.tl.nextAt, true
+}
+
 // TimelineRows returns the number of captured timeline rows.
 func (t *Tracer) TimelineRows() int {
 	if t == nil || t.tl == nil {

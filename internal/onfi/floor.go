@@ -1,0 +1,65 @@
+package onfi
+
+import "ssdtp/internal/sim"
+
+// Conservative lookahead bounds for the parallel engine (DESIGN.md §11).
+// Each tracked-op phase implies a lower bound on how soon the op can invoke
+// its completion callback: the remaining bus cycles and array time under the
+// channel's nand.Timing floors. A parallel window that ends before every
+// in-flight op's bound cannot miss a completion, whatever queueing happens
+// inside the window.
+
+// OutputFloor returns a conservative lower bound, in this channel's engine
+// time, on when any in-flight tracked operation can invoke its completion
+// callback. ok=false means no tracked op is in flight — nothing on this
+// channel is heading toward a completion at all.
+//
+// The bound covers only the tracked (GC/scrub) lifecycle; untracked host
+// operations complete through closure chains the bus does not register, so
+// device-level lookahead must combine this with the engine's next-event time
+// (ssd.Device.CompletionFloor). Per-phase remaining work, using the
+// mode-independent floors from nand.Timing.Floors (SLC derating included):
+//
+//	OpDieQueue, OpWireQueue1: cmd cycle + array floor (+ data-out, reads)
+//	OpCmd:                    pending event + array floor (+ data-out)
+//	OpArray:                  pending event (+ data-out)
+//	OpWireQueue2:             data-out transfer
+//	OpXfer:                   pending event (the completion instant itself)
+//
+// Queue phases bound from Now — the grant can come arbitrarily late but
+// never early; event phases bound from the pending event's fire time.
+func (b *Bus) OutputFloor() (sim.Time, bool) {
+	if len(b.ops) == 0 {
+		return 0, false
+	}
+	now := b.eng.Now()
+	floors := b.timing.Floors()
+	var best sim.Time
+	found := false
+	for _, op := range b.ops {
+		var xfer, array sim.Time
+		if op.kind == OpRead {
+			xfer = b.timing.TransferTime(b.chips[op.chip].Geometry().PageSize)
+			array = floors.Read
+		} else {
+			array = floors.Erase
+		}
+		var t sim.Time
+		switch op.phase {
+		case OpDieQueue, OpWireQueue1:
+			t = now + b.timing.CmdCycle + array + xfer
+		case OpCmd:
+			t = op.ev.Time() + array + xfer
+		case OpArray:
+			t = op.ev.Time() + xfer
+		case OpWireQueue2:
+			t = now + xfer
+		default: // OpXfer
+			t = op.ev.Time()
+		}
+		if !found || t < best {
+			best, found = t, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,77 @@
+package onfi
+
+import (
+	"testing"
+
+	"ssdtp/internal/nand"
+	"ssdtp/internal/sim"
+)
+
+// OutputFloor must never overestimate: stepping the engine one event at a
+// time, every bound reported before a completion fires must be <= the time
+// that completion actually fires at. Exercised under die and wire contention
+// so every phase (both queue and event) is visited.
+func TestOutputFloorConservative(t *testing.T) {
+	eng, b := testBus(t, 2)
+	b.Program(0, nand.Addr{Block: 1}, nil, nil)
+	b.Program(1, nand.Addr{Die: 1, Block: 2}, nil, nil)
+	eng.Run()
+
+	var completions []sim.Time
+	done := func() { completions = append(completions, eng.Now()) }
+	// Two reads racing for the same die (die queue), an erase on the other
+	// chip (wire contention), and a read on a second die.
+	b.ReadTracked(0, nand.Addr{Block: 1}, nil, func(int, error) { done() })
+	b.ReadTracked(0, nand.Addr{Block: 1, Page: 1}, nil, func(int, error) { done() })
+	b.EraseTracked(1, nand.Addr{Die: 1, Block: 2}, true, nil, func(error) { done() })
+	b.ReadTracked(0, nand.Addr{Die: 1, Block: 3}, nil, func(int, error) { done() })
+
+	type bound struct {
+		at    sim.Time // when the bound was computed
+		floor sim.Time
+	}
+	var bounds []bound
+	for {
+		if f, ok := b.OutputFloor(); ok {
+			if f < eng.Now() {
+				t.Fatalf("floor %d behind clock %d", f, eng.Now())
+			}
+			bounds = append(bounds, bound{at: eng.Now(), floor: f})
+		} else if len(b.ops) != 0 {
+			t.Fatalf("ops in flight but no floor")
+		}
+		nDone := len(completions)
+		if !eng.Step() {
+			break
+		}
+		// Every completion that fired at this step must be at or after every
+		// floor computed while it was still in flight.
+		for _, ct := range completions[nDone:] {
+			for _, bd := range bounds {
+				if ct < bd.floor {
+					t.Fatalf("completion at %d beats floor %d (computed at %d)", ct, bd.floor, bd.at)
+				}
+			}
+		}
+	}
+	if len(completions) != 4 {
+		t.Fatalf("got %d completions, want 4", len(completions))
+	}
+	if _, ok := b.OutputFloor(); ok {
+		t.Fatalf("floor reported with no ops in flight")
+	}
+}
+
+// Floors must be the minimum over nominal and pseudo-SLC array times, and
+// Min the smallest of the three.
+func TestTimingFloors(t *testing.T) {
+	tm := nand.ONFI2MLC()
+	f := tm.Floors()
+	s := tm.SLCMode()
+	if f.Read != s.ReadPage || f.Program != s.ProgramPage || f.Erase != s.EraseBlock {
+		t.Fatalf("floors %+v do not match SLC deratings %+v", f, s)
+	}
+	if got := f.Min(); got != f.Read {
+		t.Fatalf("Min() = %d, want read floor %d", got, f.Read)
+	}
+}

@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded event execution (DESIGN.md §11). A ShardGroup coordinates several
+// engines ("shards") as one simulation: each shard keeps its own intrusive
+// heap and clock, offset from a shared group clock by a fixed base, and the
+// group defines a total order over all events — (group time, shard index,
+// shard-local sequence). Serial stepping (Step/RunUntil) fires events in
+// exactly that order.
+//
+// The parallel path is conservative-lookahead PDES: each shard declares,
+// through a FloorFunc, a lower bound on when it can next perform an
+// *externally visible* action (one whose effects escape the shard's private
+// object graph — in this repository, a host completion callback). The group
+// horizon is the minimum of those floors and the caller's own bound; events
+// strictly before the horizon are, by construction, internal to their shard,
+// so AdvanceBefore may fire them concurrently on worker goroutines without
+// perturbing the total order any outside observer can see. The serial
+// residue — everything at or after the horizon — still steps in the fixed
+// (time, shard, seq) order, so the merged run is byte-identical to the
+// all-serial one (pinned by the property tests in shard_test.go).
+
+// FloorFunc reports a conservative lower bound, in group time, on when its
+// shard can next perform an externally visible action. ok=false means the
+// shard is unbounded: nothing it currently has queued can become externally
+// visible. The bound must be conservative (never later than the real next
+// visible action) but need not be tight; returning the shard's next event
+// time is always sound, and is what ssd.Device.CompletionFloor does.
+type FloorFunc func() (Time, bool)
+
+// groupShard is one engine attached to a ShardGroup.
+type groupShard struct {
+	eng   *Engine
+	base  Time // shard-local clock minus group clock, fixed at attach
+	floor FloorFunc
+}
+
+// ShardGroup advances several engines under one total order, with optional
+// conservative-horizon parallel windows. Not safe for concurrent use itself:
+// one goroutine owns the group; AdvanceBefore manages its own workers.
+type ShardGroup struct {
+	workers int
+	shards  []groupShard
+
+	// fired is per-shard scratch reused across AdvanceBefore calls: the
+	// distinct group times of event batches fired in the current window.
+	fired [][]Time
+}
+
+// NewShardGroup returns an empty group. workers bounds the goroutines a
+// parallel window uses; <= 0 means GOMAXPROCS.
+func NewShardGroup(workers int) *ShardGroup {
+	g := &ShardGroup{}
+	g.SetWorkers(workers)
+	return g
+}
+
+// SetWorkers adjusts the parallel-window worker bound (<= 0: GOMAXPROCS).
+func (g *ShardGroup) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	g.workers = n
+}
+
+// Workers returns the current worker bound.
+func (g *ShardGroup) Workers() int { return g.workers }
+
+// Len returns the number of attached shards.
+func (g *ShardGroup) Len() int { return len(g.shards) }
+
+// Attach adds a shard and returns its index. base is the shard's local clock
+// minus the group clock at attach time; floor may be nil for a shard that is
+// never externally visible (always unbounded).
+func (g *ShardGroup) Attach(eng *Engine, base Time, floor FloorFunc) int {
+	g.shards = append(g.shards, groupShard{eng: eng, base: base, floor: floor})
+	g.fired = append(g.fired, nil)
+	return len(g.shards) - 1
+}
+
+// SetBase re-declares shard i's clock offset. Needed after rebasing an empty
+// shard engine (snapshot restore moves the local clock without firing
+// events); the caller owns keeping base consistent with the engine's clock.
+func (g *ShardGroup) SetBase(i int, base Time) { g.shards[i].base = base }
+
+// NextTime returns the group time of the earliest pending event across all
+// shards, or (0, false) when every shard is idle.
+func (g *ShardGroup) NextTime() (Time, bool) {
+	var best Time
+	found := false
+	for i := range g.shards {
+		s := &g.shards[i]
+		if t, ok := s.eng.NextEventTime(); ok {
+			if gt := t - s.base; !found || gt < best {
+				best, found = gt, true
+			}
+		}
+	}
+	return best, found
+}
+
+// Step fires the globally earliest event batch: the shard holding the
+// minimum (group time, shard index) advances through every event at that
+// instant (including ones those events schedule for the same instant), in
+// its own (time, seq) order. Reports whether anything fired.
+func (g *ShardGroup) Step() bool {
+	best := -1
+	var bt Time
+	for i := range g.shards {
+		s := &g.shards[i]
+		t, ok := s.eng.NextEventTime()
+		if !ok {
+			continue
+		}
+		if gt := t - s.base; best < 0 || gt < bt {
+			best, bt = i, gt
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	s := &g.shards[best]
+	s.eng.RunUntil(s.base + bt)
+	return true
+}
+
+// RunUntil fires every event with group time <= t, in (time, shard, seq)
+// order. Shard clocks advance only to their fired events, never to t itself;
+// callers that need a shard synchronized to a later instant advance it
+// directly (internal/fleet's syncDrive).
+func (g *ShardGroup) RunUntil(t Time) {
+	for {
+		next, ok := g.NextTime()
+		if !ok || next > t {
+			return
+		}
+		g.Step()
+	}
+}
+
+// Horizon combines the shards' floors with the caller's own bound into the
+// group horizon: no shard can act externally visibly strictly before the
+// returned time. ok=false means unbounded — every floor and the caller's
+// limit (bounded=false) are unbounded, so any amount of lookahead is safe.
+func (g *ShardGroup) Horizon(limit Time, bounded bool) (Time, bool) {
+	h, ok := limit, bounded
+	for i := range g.shards {
+		s := &g.shards[i]
+		if s.floor == nil {
+			continue
+		}
+		if f, fok := s.floor(); fok && (!ok || f < h) {
+			h, ok = f, true
+		}
+	}
+	return h, ok
+}
+
+// AdvanceBefore fires, concurrently across shards, every event with group
+// time strictly before h (every event, when bounded=false). The caller must
+// have established — normally via Horizon — that those events are internal
+// to their shards; under that precondition the per-shard outcome is
+// identical to serial stepping, because each shard fires its own events in
+// its own order and no fired event can observe another shard.
+//
+// The return value is the ascending, de-duplicated list of group times at
+// which batches fired — exactly the instants serial stepping would have
+// visited for the same events. Callers replaying a serial schedule
+// (internal/fleet's pump) use it to reproduce their per-instant bookkeeping.
+// Returns nil when nothing fired. A panic on any worker (model bugs panic in
+// this repository) is re-raised on the caller after all workers stop.
+func (g *ShardGroup) AdvanceBefore(h Time, bounded bool) []Time {
+	// Collect shards with work in the window; skip the fan-out when idle.
+	var candidates []int
+	for i := range g.shards {
+		s := &g.shards[i]
+		if t, ok := s.eng.NextEventTime(); ok && (!bounded || t < s.base+h) {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+
+	drain := func(i int) {
+		s := &g.shards[i]
+		times := g.fired[i][:0]
+		for {
+			t, ok := s.eng.NextEventTime()
+			if !ok || (bounded && t >= s.base+h) {
+				break
+			}
+			// RunUntil fires every event at t, including same-instant events
+			// the batch schedules, so each recorded time is one batch.
+			s.eng.RunUntil(t)
+			times = append(times, t-s.base)
+		}
+		g.fired[i] = times
+	}
+
+	if len(candidates) == 1 || g.workers <= 1 {
+		for _, i := range candidates {
+			drain(i)
+		}
+	} else {
+		workers := g.workers
+		if workers > len(candidates) {
+			workers = len(candidates)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		var panicMu sync.Mutex
+		var panicked any
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panicMu.Lock()
+						if panicked == nil {
+							panicked = r
+						}
+						panicMu.Unlock()
+					}
+				}()
+				for {
+					n := int(next.Add(1)) - 1
+					if n >= len(candidates) {
+						return
+					}
+					drain(candidates[n])
+				}
+			}()
+		}
+		wg.Wait()
+		if panicked != nil {
+			panic(panicked)
+		}
+	}
+
+	// Merge the per-shard batch times into one ascending, distinct list.
+	total := 0
+	for _, i := range candidates {
+		total += len(g.fired[i])
+	}
+	if total == 0 {
+		return nil
+	}
+	merged := make([]Time, 0, total)
+	for _, i := range candidates {
+		merged = append(merged, g.fired[i]...)
+	}
+	sort.Slice(merged, func(a, b int) bool { return merged[a] < merged[b] })
+	out := merged[:1]
+	for _, t := range merged[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -69,6 +69,13 @@ type Device struct {
 	hostBytesRead    int64
 
 	inflightFlushes int
+
+	// Outstanding-completion accounting for the parallel fleet engine
+	// (DESIGN.md §11). Off by default so single-device hot paths pay one
+	// branch per submission and allocate nothing extra; TrackCompletions
+	// turns it on before any I/O is submitted.
+	trackOutstanding bool
+	outstanding      int
 }
 
 // maxOutstandingFlushes bounds FLUSH commands concurrently outstanding at
@@ -184,6 +191,44 @@ func (d *Device) traceRequest(name string, off, length int64, done func()) (obs.
 	}
 }
 
+// TrackCompletions enables outstanding-request accounting: every accepted
+// async submission counts as outstanding until its done callback fires.
+// Must be enabled before the first submission (counts would otherwise go
+// negative); the fleet enables it at drive attach.
+func (d *Device) TrackCompletions() { d.trackOutstanding = true }
+
+// trackDone wraps a done callback with the outstanding decrement. Called
+// only on accepted submissions, after validation, so rejected commands never
+// count.
+func (d *Device) trackDone(done func()) func() {
+	d.outstanding++
+	return func() {
+		d.outstanding--
+		if done != nil {
+			done()
+		}
+	}
+}
+
+// CompletionFloor returns a conservative lower bound, in this device's
+// engine time, on when the device can next invoke a host-visible completion
+// callback. ok=false means it never can from its current state: with no
+// request outstanding every queued event is device-internal (background GC,
+// patrol timers), and with no event queued an outstanding request cannot
+// make progress until the host interacts again. Requires TrackCompletions.
+//
+// The bound is the engine's next-event time: a completion only ever fires
+// from inside an event, so nothing host-visible can happen earlier. Channel
+// buses additionally expose per-op lookahead (onfi.Bus.OutputFloor), but the
+// write cache can complete a host write with no NAND op in flight, so the
+// device-level floor must come from the event queue.
+func (d *Device) CompletionFloor() (sim.Time, bool) {
+	if d.outstanding == 0 {
+		return 0, false
+	}
+	return d.eng.NextEventTime()
+}
+
 // Boot runs the controller's power-on sequence (chip enumeration). Optional
 // for experiments that only need the data path; reverse-engineering rigs
 // call it while probes are attached.
@@ -250,6 +295,9 @@ func (d *Device) WriteAsync(off int64, data []byte, length int64, done func()) e
 		}
 	}
 	d.hostBytesWritten += length
+	if d.trackOutstanding {
+		done = d.trackDone(done)
+	}
 	lsn := off / int64(d.sectorSize)
 	count := int(length / int64(d.sectorSize))
 	sp, attr, complete := d.traceRequest("ssd.write", off, length, done)
@@ -285,6 +333,9 @@ func (d *Device) ReadAsync(off int64, buf []byte, length int64, done func()) err
 		}
 	}
 	d.hostBytesRead += length
+	if d.trackOutstanding {
+		done = d.trackDone(done)
+	}
 	lsn := off / int64(d.sectorSize)
 	count := int(length / int64(d.sectorSize))
 	sp, attr, complete := d.traceRequest("ssd.read", off, length, done)
@@ -309,6 +360,9 @@ func (d *Device) TrimAsync(off, length int64, done func()) error {
 		for i := int64(0); i < length; i += int64(d.sectorSize) {
 			delete(d.content, (off+i)/int64(d.sectorSize))
 		}
+	}
+	if d.trackOutstanding {
+		done = d.trackDone(done)
 	}
 	lsn := off / int64(d.sectorSize)
 	count := int(length / int64(d.sectorSize))
@@ -335,6 +389,9 @@ func (d *Device) FlushAsync(done func()) error {
 		return ErrFlushBacklog
 	}
 	d.inflightFlushes++
+	if d.trackOutstanding {
+		done = d.trackDone(done)
+	}
 	sp, attr, complete := d.traceRequest("ssd.flush", 0, 0, done)
 	d.eng.Schedule(d.cfg.HostOverhead, func() {
 		sp.Event("ftl.dispatch")
