@@ -12,11 +12,11 @@ vet:
 	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
 
 bench:
-	scripts/bench.sh BENCH_7.json
+	scripts/bench.sh BENCH_8.json
 
 # Gate the scheduler/stats hot paths against the previous committed baseline.
 bench-diff:
-	$(GO) run ./cmd/benchdiff -filter 'BenchmarkEngine|BenchmarkRecorder' BENCH_6.json BENCH_7.json
+	$(GO) run ./cmd/benchdiff -filter 'BenchmarkEngine|BenchmarkRecorder' BENCH_7.json BENCH_8.json
 
 # The parallel-engine determinism suite at several scheduler widths: the
 # sharded fleet pump and the cell pool must be byte-identical to serial under

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"testing"
 
+	"ssdtp/internal/cow"
 	"ssdtp/internal/experiments"
 	"ssdtp/internal/ftl"
 	"ssdtp/internal/obs"
@@ -329,6 +330,45 @@ func BenchmarkTabS7Personalities(b *testing.B) {
 		res := experiments.TabS7Personalities(experiments.Quick, int64(i)+1)
 		lo, hi := res.RatioRange()
 		b.ReportMetric(hi/lo, "workload-ratio-spread")
+	}
+}
+
+// drainedSnapshot flushes dev to a quiescent state and seals its image.
+func drainedSnapshot(dev *ssd.Device) *ssd.DeviceState {
+	done := false
+	if err := dev.FlushAsync(func() { done = true }); err != nil {
+		panic(err)
+	}
+	dev.Engine().RunWhile(func() bool { return !done })
+	return dev.Snapshot()
+}
+
+// BenchmarkDriveClone is the tentpole's headline number: materializing one
+// more preconditioned drive from a sealed image. The cow sub-benchmark
+// aliases chunks (O(chunk pointers) per clone); deepcopy is the retained
+// pre-COW path (cow.SetDeepCopy) that memcpys every array, and is both the
+// correctness oracle and the baseline the ≥10× ns/op and B/op reduction is
+// measured against (scripts/benchdiff.py gates the ratio).
+func BenchmarkDriveClone(b *testing.B) {
+	cfg := ssd.MQSimBase()
+	cfg.FTL.Seed = 1
+	img := drainedSnapshot(steadyDevice(func(c *ssd.Config) {}, 1))
+	for _, mode := range []string{"cow", "deepcopy"} {
+		b.Run(mode, func(b *testing.B) {
+			cow.SetDeepCopy(mode == "deepcopy")
+			defer cow.SetDeepCopy(false)
+			// Device construction is common to both paths (and cheap now
+			// that fresh COW arrays materialize nothing); time the clone
+			// itself — what each extra fleet drive costs.
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dev := ssd.NewDevice(sim.NewEngine(), cfg)
+				b.StartTimer()
+				dev.Restore(img)
+			}
+		})
 	}
 }
 

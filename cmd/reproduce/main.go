@@ -47,6 +47,7 @@ import (
 
 	"ssdtp/internal/cliutil"
 	"ssdtp/internal/experiments"
+	"ssdtp/internal/fleet"
 	"ssdtp/internal/obs"
 	"ssdtp/internal/runner"
 	"ssdtp/internal/sim"
@@ -113,7 +114,20 @@ func main() {
 		experiments.SetObserver(col)
 	}
 	if *httpAddr != "" {
-		addr, shutdown, err := obs.ServeOps(*httpAddr, col, func() any { return tracker.Snapshot() })
+		// /progress reports run progress plus, once a fleet cell has
+		// completed, the tier's COW image residency (atomically published;
+		// never reads in-flight simulation state).
+		addr, shutdown, err := obs.ServeOps(*httpAddr, col, func() any {
+			s := tracker.Snapshot()
+			if mem := experiments.FleetMemSnapshot(); mem != nil {
+				return struct {
+					runner.Snapshot
+					FleetMemPolicy string          `json:"fleet_mem_policy"`
+					FleetMem       fleet.MemReport `json:"fleet_mem"`
+				}{s, mem.Policy, mem.Report}
+			}
+			return s
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -232,6 +246,7 @@ func main() {
 	if section("fleet", "fleet scale: per-tenant tails and GC blast radius by placement") {
 		fl := experiments.FleetTail(scale, *seed)
 		fmt.Print(fl.Table())
+		fmt.Print(fl.MemLines())
 		writeCSV("fleet_tenants.csv",
 			"policy,tenant,drives,shared_drives,requests,p50_ns,p99_ns,p999_ns,tail_gc_share_ppm,blast_radius_ppm",
 			func(w *os.File) {

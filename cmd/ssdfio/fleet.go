@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"sync/atomic"
 
 	"ssdtp/internal/cliutil"
 	"ssdtp/internal/fleet"
@@ -13,6 +14,16 @@ import (
 	"ssdtp/internal/stats"
 	"ssdtp/internal/workload"
 )
+
+// maxFleetDrives bounds -fleet/-drives. The COW image substrate keeps a
+// 1024-drive tier within the memory of a few fully copied drives (see README
+// for the measured envelope); the cap guards against typos, not memory — the
+// binding cost past it is host-pump scheduling, not residency.
+const maxFleetDrives = 4096
+
+// fleetMemLive is the tier residency snapshot served by /progress,
+// atomically published from the simulation thread at safe points.
+var fleetMemLive atomic.Pointer[fleet.MemReport]
 
 // fleetOpts carries the flag values the fleet mode consumes.
 type fleetOpts struct {
@@ -70,9 +81,42 @@ func runFleet(cfg ssd.Config, o fleetOpts) {
 
 	host := sim.NewEngine()
 	devs := make([]*ssd.Device, o.drives)
+	// The tier is homogeneous — one model, one FTL seed — so a prefilled
+	// drive image is built ONCE and every drive restores it as a COW clone:
+	// -prefill -drives 1024 pays one prefill plus O(chunks) pointer copies
+	// per drive, and the tier's resident memory stays O(image + dirty sets).
+	var (
+		img       *ssd.DeviceState
+		imgEvents int64
+	)
+	if o.prefill {
+		// Build under a suspended throwaway tracer; its engine hook still
+		// counts the prefill's fired events, credited to every clone below
+		// so per-drive engine metrics match a from-scratch build.
+		btr := obs.NewTracer("")
+		btr.Suspend()
+		b := cfg
+		b.FTL.Seed = int64(runner.CellSeed(o.seed, 0))
+		b.Trace = btr
+		builder := ssd.NewDevice(sim.NewEngine(), b)
+		fill := builder.Size() * 85 / 100 / 65536 * 65536
+		workload.Run(builder, workload.Spec{
+			Name: "prefill", Pattern: workload.Sequential, RequestBytes: 65536, Length: fill,
+		}, workload.Options{MaxRequests: fill / 65536})
+		// Snapshot requires a drained FTL: flush and run the builder's
+		// engine until the flush callback fires.
+		done := false
+		if err := builder.FlushAsync(func() { done = true }); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		builder.Engine().RunWhile(func() bool { return !done })
+		img = builder.Snapshot()
+		imgEvents = btr.EventsFired()
+	}
 	for i := range devs {
 		c := cfg
-		c.FTL.Seed = int64(runner.CellSeed(o.seed, uint64(i)))
+		c.FTL.Seed = int64(runner.CellSeed(o.seed, 0))
 		// Each drive gets a span-capped tracer: it buffers nothing but keeps
 		// the latency-attribution profiler alive, which the fleet's
 		// blast-radius accounting consumes per sub-request.
@@ -80,11 +124,9 @@ func runFleet(cfg ssd.Config, o fleetOpts) {
 		dtr.SetRecordCap(1)
 		c.Trace = dtr
 		dev := ssd.NewDevice(sim.NewEngine(), c)
-		if o.prefill {
-			fill := dev.Size() * 85 / 100 / 65536 * 65536
-			workload.Run(dev, workload.Spec{
-				Name: "prefill", Pattern: workload.Sequential, RequestBytes: 65536, Length: fill,
-			}, workload.Options{MaxRequests: fill / 65536})
+		if img != nil {
+			dev.Restore(img)
+			dtr.AddEventsFired(imgEvents)
 		}
 		devs[i] = dev
 	}
@@ -121,9 +163,18 @@ func runFleet(cfg ssd.Config, o fleetOpts) {
 		}
 	}
 
+	// Publish residency for /progress before the run starts (the baseline:
+	// clones sharing almost everything) and again after it finishes. Both
+	// points read quiesced drives — never in-flight simulation state.
+	pre := f.MemReport()
+	fleetMemLive.Store(&pre)
+
 	results := workload.RunMulti(targets, specs, workload.Options{
 		Duration: sim.Time(o.ms) * sim.Millisecond,
 	})
+
+	mem := f.MemReport()
+	fleetMemLive.Store(&mem)
 
 	fmt.Printf("fleet: %d × %s, %d tenants, %s placement, %dKiB stripe, %d-byte volumes\n",
 		o.drives, cfg.Name, o.tenants, pl.Name(), o.stripeKB, volBytes)
@@ -139,6 +190,7 @@ func runFleet(cfg ssd.Config, o fleetOpts) {
 			fmt.Sprintf("%.2f%%", float64(r.BlastPPM)/10000))
 	}
 	fmt.Print(tab.String())
+	fmt.Println(mem)
 
 	if o.showSMART {
 		for i, dev := range devs {

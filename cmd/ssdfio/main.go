@@ -29,6 +29,7 @@ import (
 	"runtime"
 
 	"ssdtp/internal/cliutil"
+	"ssdtp/internal/fleet"
 	"ssdtp/internal/obs"
 	"ssdtp/internal/sim"
 	"ssdtp/internal/ssd"
@@ -55,6 +56,7 @@ func main() {
 	metricsFile := flag.String("metrics", "", "write a Prometheus-style text dump of device metrics to this file")
 	httpAddr := flag.String("http", "", "serve a live ops endpoint (pprof, expvar, /metrics, /progress) on this address, e.g. :6060")
 	fleetN := flag.Int("fleet", 0, "simulate a tier of N drives behind a placement layer instead of a single device")
+	drivesN := flag.Int("drives", 0, "fleet tier size; alias for -fleet N (the two must agree if both are given)")
 	tenants := flag.Int("tenants", 4, "fleet mode: tenants sharing the tier, each running the flag-configured workload")
 	placement := flag.String("placement", "stripe", "fleet mode: placement policy: stripe|hash")
 	stripeKB := flag.Int64("stripe-kb", 256, "fleet mode: placement stripe size in KiB")
@@ -88,7 +90,17 @@ func main() {
 		}
 	}
 	if *httpAddr != "" {
-		addr, shutdown, err := obs.ServeOps(*httpAddr, col, nil)
+		// In fleet mode /progress carries the tier's COW image residency,
+		// atomically published by runFleet at safe points (never read from
+		// in-flight simulation state). Single-device runs report null.
+		addr, shutdown, err := obs.ServeOps(*httpAddr, col, func() any {
+			if m := fleetMemLive.Load(); m != nil {
+				return struct {
+					FleetMem *fleet.MemReport `json:"fleet_mem"`
+				}{m}
+			}
+			return nil
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -110,13 +122,26 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *fleetN > 0 {
+	// -drives and -fleet both size the tier; validate before any simulation
+	// work, with the error attributed to the flag that caused it.
+	nDrives := *fleetN
+	if *drivesN != 0 {
+		if *fleetN > 0 && *fleetN != *drivesN {
+			cliutil.Failf("drives", "%d conflicts with -fleet %d (give one, or the same value)", *drivesN, *fleetN)
+		}
+		nDrives = *drivesN
+	}
+	if nDrives < 0 || nDrives > maxFleetDrives {
+		cliutil.Failf("drives", "tier size %d out of range [1, %d] (see README: fleet scaling envelope)", nDrives, maxFleetDrives)
+	}
+
+	if nDrives > 0 {
 		if *replayFile != "" {
 			fmt.Fprintln(os.Stderr, "-replay is not supported in fleet mode")
 			os.Exit(2)
 		}
 		runFleet(cfg, fleetOpts{
-			drives: *fleetN, tenants: *tenants, policy: *placement, stripeKB: *stripeKB,
+			drives: nDrives, tenants: *tenants, policy: *placement, stripeKB: *stripeKB,
 			shard:   *shard,
 			pattern: pat, size: *size, qd: *qd, intervalUS: *intervalUS,
 			readFrac: *readFrac, seed: *seed, ms: *ms, prefill: *prefill,

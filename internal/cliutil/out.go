@@ -48,6 +48,14 @@ func MustOpen(flagName, path string) *Out {
 	return o
 }
 
+// Failf is the same fail-fast contract for flags that validate values rather
+// than paths: it prints a flag-attributed error and exits with the
+// conventional flag-error status 2.
+func Failf(flagName, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "-%s: %s\n", flagName, fmt.Sprintf(format, args...))
+	os.Exit(2)
+}
+
 // Enabled reports whether this output was requested (flag given, file open).
 func (o *Out) Enabled() bool { return o != nil }
 

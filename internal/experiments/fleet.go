@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ssdtp/internal/fleet"
 	"ssdtp/internal/ftl"
@@ -107,10 +108,21 @@ type FleetTenant struct {
 	Report fleet.TenantReport
 }
 
+// FleetMem is one policy cell's resident-memory accounting.
+type FleetMem struct {
+	Policy string
+	Report fleet.MemReport
+}
+
 // FleetResult aggregates both placement policies' tenant reports.
 type FleetResult struct {
 	Drives  int
 	Tenants []FleetTenant
+	// Mem carries per-policy COW image accounting. It is reported by
+	// MemLines, deliberately outside Table: the table is pinned byte-identical
+	// between snapshot-cache on and off, while residency legitimately differs
+	// (cache-off drives are built from scratch and share nothing).
+	Mem []FleetMem
 }
 
 // Isolated counts the policy's tenants whose tail carries no shared-drive
@@ -150,6 +162,28 @@ func (r FleetResult) Table() string {
 	return out
 }
 
+// MemLines renders the per-policy fleet memory summary (one line each).
+// Separate from Table: see the Mem field.
+func (r FleetResult) MemLines() string {
+	out := ""
+	for _, m := range r.Mem {
+		out += fmt.Sprintf("%s %s\n", m.Policy, m.Report)
+	}
+	return out
+}
+
+// lastFleetMem holds the most recently completed fleet cell's memory
+// accounting, atomically published from the worker that ran the cell so the
+// live /progress endpoint can report tier residency without ever touching
+// in-flight simulation state.
+var lastFleetMem atomic.Pointer[FleetMem]
+
+func publishFleetMem(m FleetMem) { lastFleetMem.Store(&m) }
+
+// FleetMemSnapshot returns the most recently published fleet memory report,
+// or nil when no fleet cell has completed yet. Safe from any goroutine.
+func FleetMemSnapshot() *FleetMem { return lastFleetMem.Load() }
+
 // fleetPolicies returns the two placement policies under comparison: static
 // full-fleet striping (maximal sharing) and consistent-hash ring placement
 // over quarter-fleet groups (bounded sharing).
@@ -174,12 +208,16 @@ func FleetTail(scale Scale, seed int64) FleetResult {
 	drives := int(scale.pick(32, 256))
 	reqs := scale.pick(1500, 12000)
 
-	var cells []runner.Task[[]FleetTenant]
+	type cellOut struct {
+		tenants []FleetTenant
+		mem     FleetMem
+	}
+	var cells []runner.Task[cellOut]
 	for _, pl := range fleetPolicies(drives, seed) {
 		pl := pl
 		cells = append(cells, runner.TracedCell(observer(),
 			fmt.Sprintf("fleet/%s/%dd", pl.Name(), drives),
-			func(tr *obs.Tracer) []FleetTenant {
+			func(tr *obs.Tracer) cellOut {
 				host := sim.NewEngine()
 				devs := make([]*ssd.Device, drives)
 				for i := range devs {
@@ -212,16 +250,21 @@ func FleetTail(scale Scale, seed int64) FleetResult {
 					workload.Options{MaxRequests: reqs})
 				f.PublishMetrics(tr)
 
-				out := make([]FleetTenant, fleetTenants)
-				for t, v := range vols {
-					out[t] = FleetTenant{Policy: pl.Name(), Report: v.Report()}
+				out := cellOut{
+					tenants: make([]FleetTenant, fleetTenants),
+					mem:     FleetMem{Policy: pl.Name(), Report: f.MemReport()},
 				}
+				for t, v := range vols {
+					out.tenants[t] = FleetTenant{Policy: pl.Name(), Report: v.Report()}
+				}
+				publishFleetMem(out.mem)
 				return out
 			}))
 	}
 	res := FleetResult{Drives: drives}
-	for _, tenants := range runner.Map(pool(), cells) {
-		res.Tenants = append(res.Tenants, tenants...)
+	for _, c := range runner.Map(pool(), cells) {
+		res.Tenants = append(res.Tenants, c.tenants...)
+		res.Mem = append(res.Mem, c.mem)
 	}
 	return res
 }

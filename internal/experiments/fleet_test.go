@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
+	"ssdtp/internal/fleet"
 	"ssdtp/internal/obs"
 	"ssdtp/internal/runner"
 	"ssdtp/internal/sim"
+	"ssdtp/internal/ssd"
 )
 
 // The fleet co-simulation is held to the same observability contract as the
@@ -82,19 +85,86 @@ func TestFleetFullScaleDeterministic(t *testing.T) {
 // Cloned heterogeneous fleets must be indistinguishable from fleets whose
 // drives are preconditioned from scratch: the whole rendered table, covering
 // every model and fill level in the fleet mix, is byte-identical with the
-// snapshot cache on and off.
+// snapshot cache on and off. With the cache on the clones must also be
+// genuinely copy-on-write: cloning is free (zero chunk copies until traffic
+// arrives), and drives no tenant ever touches never devolve into full
+// copies — the only chunks they re-materialize come from their own
+// background work (idle GC, scrub), a small fraction of a drive image.
 func TestFleetSnapshotCacheEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("rebuilds every drive image from scratch")
 	}
-	run := func(cache bool) string {
+	run := func(cache bool) FleetResult {
 		SetSnapshotCache(cache)
 		defer SetSnapshotCache(true)
-		return FleetTail(Quick, 42).Table()
+		return FleetTail(Quick, 42)
 	}
-	off := run(false)
-	on := run(true)
+	off := run(false).Table()
+	res := run(true)
+	on := res.Table()
 	if on != off {
 		t.Errorf("fleet table differs with snapshot cache on:\n--- off ---\n%s--- on ---\n%s", off, on)
+	}
+
+	// The hash policy leaves part of the tier with no tenants; those drives
+	// must stay shared-image-backed for the whole run. A fully-copied drive
+	// is roughly ImageChunks/4 chunks (four distinct images back the fleet
+	// mix), so assert every untouched drive re-copied strictly less than
+	// one image's worth — measured ~6 chunks per drive against ~25.
+	sawUntouched := false
+	for _, m := range res.Mem {
+		rep := m.Report
+		if rep.UntouchedDrives == 0 {
+			continue
+		}
+		sawUntouched = true
+		if rep.UntouchedCow*4 >= int64(rep.UntouchedDrives)*rep.ImageChunks {
+			t.Errorf("%s: untouched drives copied %d chunks across %d drives — a full image (%d/4 chunks) each means sharing broke",
+				m.Policy, rep.UntouchedCow, rep.UntouchedDrives, rep.ImageChunks)
+		}
+	}
+	if !sawUntouched {
+		t.Error("no policy left untouched drives; the untouched-drive COW assertion never ran")
+	}
+}
+
+// Cloning itself costs nothing: a tier restored from cached images, with
+// volumes attached but no traffic run, shares every chunk — zero COW copies
+// anywhere (untouched drives included) and zero private bytes.
+func TestFleetCloneSharesEverything(t *testing.T) {
+	drives := 16
+	seed := int64(42)
+	pl := fleetPolicies(drives, seed)[1] // hash: leaves untouched drives
+	host := sim.NewEngine()
+	devs := make([]*ssd.Device, drives)
+	for i := range devs {
+		cfg := fleetDriveConfig(i%2, seed)
+		dtr := obs.NewTracer(fmt.Sprintf("drive%03d", i))
+		dtr.SetRecordCap(1)
+		devs[i] = prefilledDeviceFrac(cfg, dtr, fleetFillLevels[(i/2)%2])
+	}
+	f := fleet.New(host, devs, fleetStripe)
+	groups := make([][]int, fleetTenants)
+	for tn := range groups {
+		groups[tn] = pl.Group(tn)
+	}
+	volBytes := fleetVolumeBytes(devs[0].Size(), groups, drives)
+	for tn := 0; tn < fleetTenants; tn++ {
+		if _, err := f.AddVolume(fmt.Sprintf("t%d", tn), groups[tn], volBytes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := f.MemReport()
+	if rep.CowCopies != 0 {
+		t.Errorf("cloning a %d-drive tier performed %d chunk copies; want 0", drives, rep.CowCopies)
+	}
+	if rep.PrivateBytes != 0 {
+		t.Errorf("freshly cloned tier holds %d private bytes; want 0 (everything shared)", rep.PrivateBytes)
+	}
+	if rep.UntouchedDrives == 0 {
+		t.Error("hash placement left no untouched drives; probe misconfigured")
+	}
+	if rep.ImageBytes == 0 || rep.ImageChunks == 0 {
+		t.Errorf("clone tier reports no shared image (%+v)", rep)
 	}
 }

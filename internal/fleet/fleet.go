@@ -609,6 +609,61 @@ func (v *Volume) Report() TenantReport {
 	return r
 }
 
+// MemReport is fleet-wide resident-memory accounting for copy-on-write drive
+// images (DESIGN.md §12): how many bytes the tier actually holds versus what
+// the drives would occupy fully copied. Shared chunks are deduplicated by
+// identity across drives, so ImageBytes counts each sealed image chunk once
+// no matter how many clones reference it.
+type MemReport struct {
+	Drives          int   `json:"drives"`
+	ResidentBytes   int64 `json:"resident_bytes"` // ImageBytes + PrivateBytes
+	ImageBytes      int64 `json:"image_bytes"`    // unique shared image chunk bytes
+	ImageChunks     int64 `json:"image_chunks"`   // unique shared image chunks
+	SharedRefs      int64 `json:"shared_refs"`    // shared-chunk references summed over drives
+	PrivateBytes    int64 `json:"private_bytes"`  // exclusively owned chunk bytes summed over drives
+	CowCopies       int64 `json:"cow_copies"`     // chunks privately copied on first write
+	UntouchedDrives int   `json:"untouched_drives"`
+	UntouchedCow    int64 `json:"untouched_cow_copies"` // cow copies on drives backing no volume
+}
+
+// MemReport walks every drive's COW accounting. Deterministic given the same
+// simulation state; call it from the simulation thread (experiments publish
+// it into metrics; live endpoints read an atomically published copy).
+func (f *Fleet) MemReport() MemReport {
+	r := MemReport{Drives: len(f.drives)}
+	seen := make(map[any]struct{})
+	for _, d := range f.drives {
+		st := d.dev.MemStats()
+		r.PrivateBytes += st.OwnedBytes
+		r.SharedRefs += st.SharedChunks
+		r.CowCopies += st.CowCopies
+		if d.tenants == 0 {
+			r.UntouchedDrives++
+			r.UntouchedCow += st.CowCopies
+		}
+		d.dev.VisitSharedChunks(func(id any, bytes int64) {
+			if _, ok := seen[id]; ok {
+				return
+			}
+			seen[id] = struct{}{}
+			r.ImageChunks++
+			r.ImageBytes += bytes
+		})
+	}
+	r.ResidentBytes = r.ImageBytes + r.PrivateBytes
+	return r
+}
+
+// String renders the one-line fleet memory summary printed under experiment
+// tables and by ssdfio -fleet.
+func (r MemReport) String() string {
+	mib := func(b int64) float64 { return float64(b) / (1 << 20) }
+	return fmt.Sprintf(
+		"fleet memory: %d drives resident in %.1f MiB = %.1f MiB shared image (%d chunks) + %.1f MiB private dirty; %d COW chunk copies (%d on %d untouched drives)",
+		r.Drives, mib(r.ResidentBytes), mib(r.ImageBytes), r.ImageChunks,
+		mib(r.PrivateBytes), r.CowCopies, r.UntouchedCow, r.UntouchedDrives)
+}
+
 // BindObs attaches the fleet to a cell tracer: host-engine events count into
 // the tracer's engine metrics, tenant requests open fleet.write/read/trim
 // spans (the drives' own spans stay on their private capped tracers — at
@@ -661,6 +716,10 @@ func (f *Fleet) PublishMetrics(tr *obs.Tracer) {
 	m.Set("ssdtp_fleet_host_bytes_read_total", agg.HostBytesRead)
 	m.Set("ssdtp_fleet_pages_programmed_total", agg.PagesProgrammed)
 	m.Set("ssdtp_fleet_gc_pages_moved_total", agg.GCPagesMoved)
+	mem := f.MemReport()
+	m.Set("ssdtp_image_shared_chunks", mem.ImageChunks)
+	m.Set("ssdtp_image_cow_chunks", mem.CowCopies)
+	m.Set("ssdtp_image_resident_bytes", mem.ResidentBytes)
 	for _, v := range f.vols {
 		r := v.Report()
 		pre := "ssdtp_fleet_tenant_" + v.name

@@ -153,7 +153,7 @@ func (f *FTL) commitPage(pu *puState, op *pageOp, ppn int64, gb int64) {
 		for i, lsn := range op.lsns {
 			psn := base + int64(i)
 			if lsn < 0 {
-				f.p2l[psn] = psnFree
+				f.p2l.Set(psn, psnFree)
 				f.counters.PaddedSectors++
 				continue
 			}
@@ -176,34 +176,34 @@ func (f *FTL) commitPage(pu *puState, op *pageOp, ppn int64, gb int64) {
 		for i, lsn := range op.lsns {
 			psn := base + int64(i)
 			if lsn < 0 {
-				f.p2l[psn] = psnFree
+				f.p2l.Set(psn, psnFree)
 				f.counters.PaddedSectors++
 				continue
 			}
-			if f.l2p[lsn] == op.old[i] {
+			if f.l2p.At(lsn) == op.old[i] {
 				// Still current: move the mapping.
-				f.p2l[op.old[i]] = psnFree
-				f.blockValid[f.blockOfPsn(op.old[i])]--
-				f.l2p[lsn] = psn
-				f.p2l[psn] = lsn
-				f.blockValid[f.blockOfPsn(psn)]++
+				f.p2l.Set(op.old[i], psnFree)
+				*f.blockValid.Ptr(f.blockOfPsn(op.old[i]))--
+				f.l2p.Set(lsn, psn)
+				f.p2l.Set(psn, lsn)
+				*f.blockValid.Ptr(f.blockOfPsn(psn))++
 				f.counters.GCValidMoved++
 				f.noteMapUpdate()
 			} else {
 				// Overwritten while relocating: the new copy is dead on
 				// arrival.
-				f.p2l[psn] = psnFree
+				f.p2l.Set(psn, psnFree)
 			}
 		}
 	case kindMap:
 		f.counters.MapPagesProgrammed++
 		for i := range op.lsns {
-			f.p2l[base+int64(i)] = psnMapMeta
+			f.p2l.Set(base+int64(i), psnMapMeta)
 		}
 	case kindParity:
 		f.counters.ParityPagesProgrammed++
 		for i := range op.lsns {
-			f.p2l[base+int64(i)] = psnParity
+			f.p2l.Set(base+int64(i), psnParity)
 		}
 	}
 	if op.kind != kindParity && f.cfg.RAIN.Enabled() {

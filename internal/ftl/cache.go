@@ -261,7 +261,7 @@ func (f *FTL) commitCachedSector(e *cacheEntry, op *pageOp, lsn, psn int64) {
 		e.flight = nil
 		c.recycleIfDead(e)
 	}
-	f.p2l[psn] = psnFree
+	f.p2l.Set(psn, psnFree)
 }
 
 // releaseAdmitWaiters completes stalled host writes once the cache is back

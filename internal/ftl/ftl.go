@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"ssdtp/internal/bitset"
+	"ssdtp/internal/cow"
 	"ssdtp/internal/nand"
 	"ssdtp/internal/obs"
 	"ssdtp/internal/sim"
@@ -15,6 +16,14 @@ const (
 	psnFree    int64 = -1 // never written, invalidated, or padding
 	psnParity  int64 = -2 // RAIN parity
 	psnMapMeta int64 = -3 // mapping-journal payload
+)
+
+// Chunk lengths for the FTL's COW arrays: mapChunk elements per l2p/p2l
+// chunk (32 KiB of table — fine enough that a clone's dirty set tracks what
+// its tenants actually touch), blockChunk for the small per-block counters.
+const (
+	mapChunk   = 4096
+	blockChunk = 256
 )
 
 // cacheLatency is the host-visible cost of a DRAM cache hit/insert.
@@ -85,11 +94,11 @@ type FTL struct {
 	puTotal   int64
 
 	logicalSectors int64
-	l2p            []int64
-	p2l            []int64
-	blockValid     []int32
+	l2p            *cow.Array[int64]
+	p2l            *cow.Array[int64]
+	blockValid     *cow.Array[int32]
 	blockInflight  []int32
-	blockErases    []int32
+	blockErases    *cow.Array[int32]
 	validTotal     int64
 
 	pus []puState
@@ -218,18 +227,18 @@ func New(eng *sim.Engine, flash Flash, cfg Config) *FTL {
 	logical -= logical % int64(f.secPerPage)
 	f.logicalSectors = logical
 
-	f.l2p = make([]int64, logical)
-	for i := range f.l2p {
-		f.l2p[i] = psnFree
-	}
-	f.p2l = make([]int64, totalSectors)
-	for i := range f.p2l {
-		f.p2l[i] = psnFree
-	}
+	// The mapping tables dominate a drive's resident memory, so they live in
+	// COW chunked arrays: psnFree is the arrays' implicit fill value, a fresh
+	// FTL materializes nothing, and snapshot clones share chunks with the
+	// image until first write (DESIGN.md §12). blockInflight stays a plain
+	// slice — it is transient scheduling state, provably all-zero whenever a
+	// snapshot is legal.
+	f.l2p = cow.NewArray[int64](logical, mapChunk, 8, psnFree)
+	f.p2l = cow.NewArray[int64](totalSectors, mapChunk, 8, psnFree)
 	totalBlocks := int64(f.numPU) * int64(f.blksPerPU)
-	f.blockValid = make([]int32, totalBlocks)
+	f.blockValid = cow.NewArray[int32](totalBlocks, blockChunk, 4, 0)
 	f.blockInflight = make([]int32, totalBlocks)
-	f.blockErases = make([]int32, totalBlocks)
+	f.blockErases = cow.NewArray[int32](totalBlocks, blockChunk, 4, 0)
 
 	f.pus = make([]puState, f.numPU)
 	for i := range f.pus {
@@ -299,13 +308,34 @@ func (f *FTL) SectorSize() int { return f.cfg.SectorSize }
 // Counters returns a copy of the FTL's counters.
 func (f *FTL) Counters() Counters { return f.counters }
 
+// MemStats returns chunk-level memory accounting across the FTL's COW
+// arrays (l2p, p2l, block counters).
+func (f *FTL) MemStats() cow.Stats {
+	var st cow.Stats
+	st.Add(f.l2p.Stats())
+	st.Add(f.p2l.Stats())
+	st.Add(f.blockValid.Stats())
+	st.Add(f.blockErases.Stats())
+	return st
+}
+
+// VisitSharedChunks calls fn for every chunk the FTL shares with an image,
+// with a comparable identity for cross-drive deduplication (see
+// cow.Array.VisitShared).
+func (f *FTL) VisitSharedChunks(fn func(id any, bytes int64)) {
+	f.l2p.VisitShared(fn)
+	f.p2l.VisitShared(fn)
+	f.blockValid.VisitShared(fn)
+	f.blockErases.VisitShared(fn)
+}
+
 // MapEntry returns the physical sector the logical sector maps to, or -1 if
 // unmapped. The firmware package exposes this table through simulated DRAM.
 func (f *FTL) MapEntry(lsn int64) int64 {
 	if lsn < 0 || lsn >= f.logicalSectors {
 		return psnFree
 	}
-	return f.l2p[lsn]
+	return f.l2p.At(lsn)
 }
 
 // PSLCResident returns how many logical sectors are indexed as pSLC-resident.
@@ -583,7 +613,7 @@ func (f *FTL) Read(lsn int64, count int, done func()) error {
 				continue
 			}
 		}
-		psn := f.l2p[l]
+		psn := f.l2p.At(l)
 		if psn < 0 {
 			continue
 		}
@@ -642,9 +672,9 @@ func (f *FTL) Trim(lsn int64, count int) error {
 		if f.cache != nil {
 			f.cache.drop(l)
 		}
-		if psn := f.l2p[l]; psn >= 0 {
+		if psn := f.l2p.At(l); psn >= 0 {
 			f.invalidate(psn)
-			f.l2p[l] = psnFree
+			f.l2p.Set(l, psnFree)
 			f.noteMapUpdate()
 		}
 		delete(f.pslcIndex, l)
@@ -710,9 +740,9 @@ func (f *FTL) pumpDrain() {
 
 // invalidate marks a physical sector dead and updates block accounting.
 func (f *FTL) invalidate(psn int64) {
-	f.p2l[psn] = psnFree
+	f.p2l.Set(psn, psnFree)
 	gb := f.blockOfPsn(psn)
-	f.blockValid[gb]--
+	*f.blockValid.Ptr(gb)--
 	f.validTotal--
 	f.wakeStarvedPU(gb)
 }
@@ -741,12 +771,12 @@ func (f *FTL) wakeStarvedPU(gb int64) {
 
 // commitMapping installs lsn -> psn, invalidating any prior location.
 func (f *FTL) commitMapping(lsn, psn int64) {
-	if old := f.l2p[lsn]; old >= 0 {
+	if old := f.l2p.At(lsn); old >= 0 {
 		f.invalidate(old)
 	}
-	f.l2p[lsn] = psn
-	f.p2l[psn] = lsn
-	f.blockValid[f.blockOfPsn(psn)]++
+	f.l2p.Set(lsn, psn)
+	f.p2l.Set(psn, lsn)
+	*f.blockValid.Ptr(f.blockOfPsn(psn))++
 	f.validTotal++
 	f.noteMapUpdate()
 }

@@ -112,24 +112,26 @@ func newTestFTL(t *testing.T, cfg Config) (*sim.Engine, *fakeFlash, *FTL) {
 func checkInvariants(t *testing.T, f *FTL) {
 	t.Helper()
 	mapped := int64(0)
-	for lsn, psn := range f.l2p {
+	for lsn := int64(0); lsn < f.l2p.Len(); lsn++ {
+		psn := f.l2p.At(lsn)
 		if psn < 0 {
 			continue
 		}
 		mapped++
-		if f.p2l[psn] != int64(lsn) {
-			t.Fatalf("l2p[%d]=%d but p2l[%d]=%d", lsn, psn, psn, f.p2l[psn])
+		if f.p2l.At(psn) != lsn {
+			t.Fatalf("l2p[%d]=%d but p2l[%d]=%d", lsn, psn, psn, f.p2l.At(psn))
 		}
 	}
 	back := int64(0)
-	blockCounts := make([]int32, len(f.blockValid))
-	for psn, lsn := range f.p2l {
+	blockCounts := make([]int32, f.blockValid.Len())
+	for psn := int64(0); psn < f.p2l.Len(); psn++ {
+		lsn := f.p2l.At(psn)
 		if lsn >= 0 {
 			back++
-			if f.l2p[lsn] != int64(psn) {
-				t.Fatalf("p2l[%d]=%d but l2p[%d]=%d", psn, lsn, lsn, f.l2p[lsn])
+			if f.l2p.At(lsn) != psn {
+				t.Fatalf("p2l[%d]=%d but l2p[%d]=%d", psn, lsn, lsn, f.l2p.At(lsn))
 			}
-			blockCounts[f.blockOfPsn(int64(psn))]++
+			blockCounts[f.blockOfPsn(psn)]++
 		}
 	}
 	if mapped != back {
@@ -139,8 +141,8 @@ func checkInvariants(t *testing.T, f *FTL) {
 		t.Fatalf("validTotal=%d, mapped=%d", f.validTotal, mapped)
 	}
 	for b, want := range blockCounts {
-		if f.blockValid[b] != want {
-			t.Fatalf("blockValid[%d]=%d, recount=%d", b, f.blockValid[b], want)
+		if f.blockValid.At(int64(b)) != want {
+			t.Fatalf("blockValid[%d]=%d, recount=%d", b, f.blockValid.At(int64(b)), want)
 		}
 	}
 }

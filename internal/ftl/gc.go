@@ -99,10 +99,10 @@ func (f *FTL) pickVictim(pu *puState) int {
 	maxValid := int32((f.pagesPerBlk - 1) * f.secPerPage)
 	eligible := func(i int) bool {
 		gb := f.globalBlock(pu.index, candidates[i])
-		return f.blockInflight[gb] == 0 && f.blockValid[gb] <= maxValid && !f.blockBad(gb)
+		return f.blockInflight[gb] == 0 && f.blockValid.At(gb) <= maxValid && !f.blockBad(gb)
 	}
 	valid := func(i int) int32 {
-		return f.blockValid[f.globalBlock(pu.index, candidates[i])]
+		return f.blockValid.At(f.globalBlock(pu.index, candidates[i]))
 	}
 	switch f.cfg.GC {
 	case GCFIFO:
@@ -188,7 +188,7 @@ func (f *FTL) collectBlock(pu *puState, victim int32) {
 		pageLive := false
 		for s := 0; s < f.secPerPage; s++ {
 			psn := blockBase + int64(p*f.secPerPage+s)
-			if lsn := f.p2l[psn]; lsn >= 0 {
+			if lsn := f.p2l.At(psn); lsn >= 0 {
 				job.moves = append(job.moves, gcMove{lsn: lsn, psn: psn})
 				pageLive = true
 			}
@@ -299,7 +299,7 @@ func (f *FTL) gcEraseDone(pu *puState, err error) {
 	} else {
 		job.sp.End(obs.Str("result", "erased"))
 		f.counters.Erases++
-		f.blockErases[f.globalBlock(pu.index, job.victim)]++
+		*f.blockErases.Ptr(f.globalBlock(pu.index, job.victim))++
 		pu.free = append(pu.free, job.victim)
 	}
 	f.drainPUWaiters(pu)

@@ -43,7 +43,7 @@ func (f *FTL) refreshPage(ppn int64) {
 	live := 0
 	for i := 0; i < f.secPerPage; i++ {
 		psn := base + int64(i)
-		if lsn := f.p2l[psn]; lsn >= 0 {
+		if lsn := f.p2l.At(psn); lsn >= 0 {
 			lsns[i] = lsn
 			old[i] = psn
 			live++
@@ -78,7 +78,7 @@ func (f *FTL) scrubTick() {
 	var candidates []int64
 	totalBlocks := int64(f.numPU) * int64(f.blksPerPU)
 	for gb := int64(0); gb < totalBlocks; gb++ {
-		if f.blockValid[gb] > 0 && !f.blockBad(gb) {
+		if f.blockValid.At(gb) > 0 && !f.blockBad(gb) {
 			candidates = append(candidates, gb)
 		}
 	}
@@ -98,7 +98,7 @@ func (f *FTL) scrubTick() {
 		base := ppn * int64(f.secPerPage)
 		livePage := false
 		for i := 0; i < f.secPerPage; i++ {
-			if f.p2l[base+int64(i)] >= 0 {
+			if f.p2l.At(base+int64(i)) >= 0 {
 				livePage = true
 				break
 			}
@@ -153,7 +153,7 @@ func (f *FTL) retireBlock(pu *puState, blk int32) {
 	for off := int64(0); off < pages; off += int64(f.secPerPage) {
 		ppn := (base + off) / int64(f.secPerPage)
 		for i := int64(0); i < int64(f.secPerPage); i++ {
-			if f.p2l[base+off+i] >= 0 {
+			if f.p2l.At(base+off+i) >= 0 {
 				f.refreshPage(ppn)
 				break
 			}
@@ -176,7 +176,7 @@ func (f *FTL) maybeWearLevel(pu *puState) {
 		if f.blockBad(gb) {
 			continue
 		}
-		e := f.blockErases[gb]
+		e := f.blockErases.At(gb)
 		if first {
 			minE, maxE = e, e
 			first = false
@@ -199,7 +199,7 @@ func (f *FTL) maybeWearLevel(pu *puState) {
 		if f.blockInflight[gb] != 0 || f.blockBad(gb) {
 			continue
 		}
-		if e := f.blockErases[gb]; best < 0 || e < bestE {
+		if e := f.blockErases.At(gb); best < 0 || e < bestE {
 			best, bestE = i, e
 		}
 	}

@@ -179,7 +179,8 @@ func TestStaticWearLeveling(t *testing.T) {
 			eng.RunUntil(eng.Now() + 100*int64(sim.Millisecond))
 		}
 		var minE, maxE int32 = 1 << 30, 0
-		for _, e := range f.blockErases {
+		for b := int64(0); b < f.blockErases.Len(); b++ {
+			e := f.blockErases.At(b)
 			if e < minE {
 				minE = e
 			}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ssdtp/internal/bitset"
+	"ssdtp/internal/cow"
 	"ssdtp/internal/onfi"
 	"ssdtp/internal/sim"
 )
@@ -37,14 +38,18 @@ type puSnap struct {
 	job       *gcJobSnap
 }
 
-// State is an opaque deep copy of an FTL's mutable state, safe to hold
-// across further activity on the source and to restore any number of times.
+// State is an opaque, sealed image of an FTL's mutable state, safe to hold
+// across further activity on the source and to restore any number of times,
+// concurrently. The mapping tables and block counters are cow.Images:
+// Snapshot marks the source's chunks shared and aliases them (no element
+// copies), Restore aliases them into the clone, and either side copies a
+// chunk only on its first write to it (DESIGN.md §12).
 type State struct {
 	allocSeq    int64
-	l2p         []int64
-	p2l         []int64
-	blockValid  []int32
-	blockErases []int32
+	l2p         cow.Image[int64]
+	p2l         cow.Image[int64]
+	blockValid  cow.Image[int32]
+	blockErases cow.Image[int32]
 	validTotal  int64
 	pus         []puSnap
 	mapUpdates  int64
@@ -109,10 +114,10 @@ func (f *FTL) Snapshot() *State {
 
 	st := &State{
 		allocSeq:    f.allocSeq,
-		l2p:         append([]int64(nil), f.l2p...),
-		p2l:         append([]int64(nil), f.p2l...),
-		blockValid:  append([]int32(nil), f.blockValid...),
-		blockErases: append([]int32(nil), f.blockErases...),
+		l2p:         f.l2p.Snapshot(),
+		p2l:         f.p2l.Snapshot(),
+		blockValid:  f.blockValid.Snapshot(),
+		blockErases: f.blockErases.Snapshot(),
 		validTotal:  f.validTotal,
 		mapUpdates:  f.mapUpdates,
 		pslcCredits: f.pslcCredits,
@@ -209,15 +214,16 @@ func (f *FTL) Restore(st *State) {
 	if f.allocSeq != 0 || f.validTotal != 0 || f.rngSrc.n != 0 {
 		panic("ftl: Restore target must be freshly constructed")
 	}
-	if len(st.l2p) != len(f.l2p) || len(st.p2l) != len(f.p2l) ||
-		len(st.pus) != len(f.pus) || (st.pslcIndex != nil) != (f.pslcIndex != nil) {
+	if len(st.pus) != len(f.pus) || (st.pslcIndex != nil) != (f.pslcIndex != nil) {
 		panic("ftl: Restore configuration mismatch")
 	}
 	f.allocSeq = st.allocSeq
-	copy(f.l2p, st.l2p)
-	copy(f.p2l, st.p2l)
-	copy(f.blockValid, st.blockValid)
-	copy(f.blockErases, st.blockErases)
+	// Alias the image's chunks; cow.Array.Restore panics on shape mismatch,
+	// which subsumes the old length checks.
+	f.l2p.Restore(st.l2p)
+	f.p2l.Restore(st.p2l)
+	f.blockValid.Restore(st.blockValid)
+	f.blockErases.Restore(st.blockErases)
 	f.validTotal = st.validTotal
 	f.mapUpdates = st.mapUpdates
 	f.pslcCredits = st.pslcCredits

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ssdtp/internal/bitset"
+	"ssdtp/internal/cow"
 )
 
 // Common flash-semantics errors.
@@ -23,6 +24,14 @@ type PageState uint8
 const (
 	PageErased PageState = iota
 	PageProgrammed
+)
+
+// Chunk lengths for the chip's COW metadata arrays. Per-page arrays use a
+// coarser grain than the payload store (a 256-page state chunk is 256 bytes —
+// copying one on first write is noise); per-block arrays are tiny either way.
+const (
+	pageMetaChunk  = 256
+	blockMetaChunk = 64
 )
 
 // Stats counts operations executed by a chip.
@@ -55,16 +64,18 @@ type ChipConfig struct {
 // Chip is the logical state of one NAND package: page states, per-block
 // program cursors and erase counts, and (optionally) page payloads. Chip is
 // passive — it has no clock; the onfi.Bus sequences operations in simulated
-// time and invokes these methods at commit points.
+// time and invokes these methods at commit points. All bulk state lives in
+// copy-on-write chunked arrays so Snapshot/Restore alias chunks instead of
+// copying the chip (see internal/cow and DESIGN.md §12).
 type Chip struct {
 	cfg        ChipConfig
 	geom       Geometry
-	state      []PageState // dense, PageIndex-ordered
-	cursor     []int       // per block: next programmable page
-	erases     []int       // per block
-	reads      []int       // per block: reads since last erase (read disturb)
-	birth      []int64     // per page: program time (reliability model)
-	data       *pageStore  // nil unless StoreData
+	state      *cow.Array[PageState] // dense, PageIndex-ordered
+	cursor     *cow.Array[int]       // per block: next programmable page
+	erases     *cow.Array[int]       // per block
+	reads      *cow.Array[int]       // per block: reads since last erase (read disturb)
+	birth      *cow.Array[int64]     // per page: program time (reliability model)
+	data       *pageStore            // nil unless StoreData
 	stats      Stats
 	factoryBad bitset.Set // by block index
 }
@@ -83,13 +94,13 @@ func NewChip(cfg ChipConfig) *Chip {
 	c := &Chip{
 		cfg:    cfg,
 		geom:   g,
-		state:  make([]PageState, g.Pages()),
-		cursor: make([]int, g.Blocks()),
-		erases: make([]int, g.Blocks()),
-		reads:  make([]int, g.Blocks()),
+		state:  cow.NewArray[PageState](g.Pages(), pageMetaChunk, 1, PageErased),
+		cursor: cow.NewArray[int](int64(g.Blocks()), blockMetaChunk, 8, 0),
+		erases: cow.NewArray[int](int64(g.Blocks()), blockMetaChunk, 8, 0),
+		reads:  cow.NewArray[int](int64(g.Blocks()), blockMetaChunk, 8, 0),
 	}
 	if cfg.Reliability.Enabled() {
-		c.birth = make([]int64, g.Pages())
+		c.birth = cow.NewArray[int64](g.Pages(), pageMetaChunk, 8, 0)
 	}
 	if cfg.StoreData {
 		c.data = newPageStore(g.PageSize, g.Pages())
@@ -113,12 +124,12 @@ func (c *Chip) BitErrors(a Addr) int {
 		return 0
 	}
 	idx := c.geom.PageIndex(a)
-	if c.state[idx] != PageProgrammed {
+	if c.state.At(idx) != PageProgrammed {
 		return 0
 	}
-	blk := c.geom.BlockIndex(a)
-	age := c.cfg.Clock() - c.birth[idx]
-	return c.cfg.Reliability.BitErrorsRD(c.erases[blk], age, c.reads[blk])
+	blk := int64(c.geom.BlockIndex(a))
+	age := c.cfg.Clock() - c.birth.At(idx)
+	return c.cfg.Reliability.BitErrorsRD(c.erases.At(blk), age, c.reads.At(blk))
 }
 
 // BlockReads returns reads of the block containing a since its last erase.
@@ -126,7 +137,7 @@ func (c *Chip) BlockReads(a Addr) int {
 	if !c.geom.Contains(Addr{Die: a.Die, Plane: a.Plane, Block: a.Block}) {
 		return 0
 	}
-	return c.reads[c.geom.BlockIndex(a)]
+	return c.reads.At(int64(c.geom.BlockIndex(a)))
 }
 
 // Geometry returns the chip's layout.
@@ -135,12 +146,45 @@ func (c *Chip) Geometry() Geometry { return c.geom }
 // Stats returns a copy of the operation counters.
 func (c *Chip) Stats() Stats { return c.stats }
 
+// MemStats returns chunk-level memory accounting across the chip's COW
+// arrays (payloads, page states, per-block counters, birth stamps).
+func (c *Chip) MemStats() cow.Stats {
+	var st cow.Stats
+	st.Add(c.state.Stats())
+	st.Add(c.cursor.Stats())
+	st.Add(c.erases.Stats())
+	st.Add(c.reads.Stats())
+	if c.birth != nil {
+		st.Add(c.birth.Stats())
+	}
+	if c.data != nil {
+		st.Add(c.data.arr.Stats())
+	}
+	return st
+}
+
+// VisitSharedChunks calls f for every chunk the chip shares with an image,
+// with a comparable identity for cross-drive deduplication (see
+// cow.Array.VisitShared).
+func (c *Chip) VisitSharedChunks(f func(id any, bytes int64)) {
+	c.state.VisitShared(f)
+	c.cursor.VisitShared(f)
+	c.erases.VisitShared(f)
+	c.reads.VisitShared(f)
+	if c.birth != nil {
+		c.birth.VisitShared(f)
+	}
+	if c.data != nil {
+		c.data.arr.VisitShared(f)
+	}
+}
+
 // State returns the lifecycle state of the addressed page.
 func (c *Chip) State(a Addr) (PageState, error) {
 	if !c.geom.Contains(a) {
 		return 0, fmt.Errorf("%w: %v", ErrOutOfRange, a)
 	}
-	return c.state[c.geom.PageIndex(a)], nil
+	return c.state.At(c.geom.PageIndex(a)), nil
 }
 
 // EraseCount returns how many times the block containing a has been erased.
@@ -148,7 +192,7 @@ func (c *Chip) EraseCount(a Addr) int {
 	if !c.geom.Contains(Addr{Die: a.Die, Plane: a.Plane, Block: a.Block}) {
 		return 0
 	}
-	return c.erases[c.geom.BlockIndex(a)]
+	return c.erases.At(int64(c.geom.BlockIndex(a)))
 }
 
 // Program commits a page program. data must be exactly PageSize bytes (nil
@@ -162,20 +206,20 @@ func (c *Chip) Program(a Addr, data []byte) error {
 		return fmt.Errorf("%w: got %d, page size %d", ErrSizeMismatch, len(data), c.geom.PageSize)
 	}
 	idx := c.geom.PageIndex(a)
-	if c.state[idx] != PageErased {
+	if c.state.At(idx) != PageErased {
 		return fmt.Errorf("%w: %v", ErrOverwrite, a)
 	}
-	blk := c.geom.BlockIndex(a)
+	blk := int64(c.geom.BlockIndex(a))
 	if c.factoryBad.Get(blk) {
 		return fmt.Errorf("%w: %v (factory bad block)", ErrWornOut, a)
 	}
-	if a.Page != c.cursor[blk] {
-		return fmt.Errorf("%w: %v (next programmable page is %d)", ErrOutOfOrder, a, c.cursor[blk])
+	if a.Page != c.cursor.At(blk) {
+		return fmt.Errorf("%w: %v (next programmable page is %d)", ErrOutOfOrder, a, c.cursor.At(blk))
 	}
-	c.state[idx] = PageProgrammed
-	c.cursor[blk]++
+	c.state.Set(idx, PageProgrammed)
+	*c.cursor.Ptr(blk)++
 	if c.birth != nil {
-		c.birth[idx] = c.cfg.Clock()
+		c.birth.Set(idx, c.cfg.Clock())
 	}
 	if c.data != nil && data != nil {
 		c.data.put(idx, data)
@@ -196,19 +240,17 @@ func (c *Chip) Read(a Addr, buf []byte) error {
 	}
 	idx := c.geom.PageIndex(a)
 	if buf != nil {
-		if c.state[idx] == PageErased {
+		if c.state.At(idx) == PageErased {
 			for i := range buf {
 				buf[i] = 0xFF
 			}
 		} else if c.data != nil {
 			c.data.read(idx, buf)
 		} else {
-			for i := range buf {
-				buf[i] = 0
-			}
+			clear(buf)
 		}
 	}
-	c.reads[c.geom.BlockIndex(a)]++
+	*c.reads.Ptr(int64(c.geom.BlockIndex(a)))++
 	c.stats.Reads++
 	return nil
 }
@@ -219,23 +261,21 @@ func (c *Chip) Erase(a Addr) error {
 	if !c.geom.Contains(a) {
 		return fmt.Errorf("%w: %v", ErrOutOfRange, a)
 	}
-	blk := c.geom.BlockIndex(a)
+	blk := int64(c.geom.BlockIndex(a))
 	if c.factoryBad.Get(blk) {
 		return fmt.Errorf("%w: %v (factory bad block)", ErrWornOut, a)
 	}
-	if c.cfg.WearLimit > 0 && c.erases[blk] >= c.cfg.WearLimit {
-		return fmt.Errorf("%w: block %v after %d erases", ErrWornOut, a, c.erases[blk])
+	if c.cfg.WearLimit > 0 && c.erases.At(blk) >= c.cfg.WearLimit {
+		return fmt.Errorf("%w: block %v after %d erases", ErrWornOut, a, c.erases.At(blk))
 	}
 	base := c.geom.PageIndex(a)
-	for p := 0; p < c.geom.PagesPerBlock; p++ {
-		c.state[base+int64(p)] = PageErased
-	}
+	c.state.FillRange(base, base+int64(c.geom.PagesPerBlock))
 	if c.data != nil {
 		c.data.zeroRange(base, int64(c.geom.PagesPerBlock))
 	}
-	c.cursor[blk] = 0
-	c.erases[blk]++
-	c.reads[blk] = 0
+	c.cursor.Set(blk, 0)
+	*c.erases.Ptr(blk)++
+	c.reads.Set(blk, 0)
 	c.stats.Erases++
 	return nil
 }

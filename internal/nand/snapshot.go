@@ -1,66 +1,79 @@
 package nand
 
-import "ssdtp/internal/bitset"
+import (
+	"ssdtp/internal/bitset"
+	"ssdtp/internal/cow"
+)
 
-// ChipState is an opaque deep copy of a Chip's mutable state: page states,
-// program cursors, erase/read-disturb counters, program-time birth stamps,
-// stored payloads, operation statistics, and factory-bad marks. It captures
-// everything Restore needs to make another identically configured chip
-// observationally indistinguishable from the snapshotted one.
+// ChipState is a sealed, immutable image of a Chip's mutable state: page
+// states, program cursors, erase/read-disturb counters, program-time birth
+// stamps, stored payloads, operation statistics, and factory-bad marks. The
+// bulk arrays are cow.Images — Snapshot marks the source chip's chunks
+// shared and aliases them here (O(chunks), no element copies), and Restore
+// aliases them into the target, which copies a chunk only when it first
+// writes it. A ChipState is never written after construction, so any number
+// of chips may restore from it concurrently.
 type ChipState struct {
 	geom       Geometry
-	state      []PageState
-	cursor     []int
-	erases     []int
-	reads      []int
-	birth      []int64
-	data       *pageStore
+	state      cow.Image[PageState]
+	cursor     cow.Image[int]
+	erases     cow.Image[int]
+	reads      cow.Image[int]
+	birth      cow.Image[int64]
+	hasBirth   bool
+	data       cow.Image[byte]
+	hasData    bool
 	stats      Stats
 	factoryBad bitset.Set
 }
 
-// Snapshot returns a deep copy of the chip's mutable state. The chip's
-// configuration (geometry, reliability model, wear limit) is not captured:
-// Restore requires an identically configured chip and panics otherwise.
+// Snapshot seals the chip's mutable state as an immutable image. The chip
+// keeps reading its chunks in place and copies one only on its next write to
+// it. The chip's configuration (geometry, reliability model, wear limit) is
+// not captured: Restore requires an identically configured chip and panics
+// otherwise.
 func (c *Chip) Snapshot() *ChipState {
 	s := &ChipState{
 		geom:       c.geom,
-		state:      append([]PageState(nil), c.state...),
-		cursor:     append([]int(nil), c.cursor...),
-		erases:     append([]int(nil), c.erases...),
-		reads:      append([]int(nil), c.reads...),
+		state:      c.state.Snapshot(),
+		cursor:     c.cursor.Snapshot(),
+		erases:     c.erases.Snapshot(),
+		reads:      c.reads.Snapshot(),
 		stats:      c.stats,
 		factoryBad: c.factoryBad.Clone(),
 	}
 	if c.birth != nil {
-		s.birth = append([]int64(nil), c.birth...)
+		s.birth = c.birth.Snapshot()
+		s.hasBirth = true
 	}
 	if c.data != nil {
-		s.data = c.data.clone()
+		s.data = c.data.arr.Snapshot()
+		s.hasData = true
 	}
 	return s
 }
 
-// Restore overwrites the chip's mutable state with a snapshot, copying into
-// the chip's existing slices so repeated restores allocate only for payload
-// chunks absent from the target. Panics on geometry or configuration
-// mismatch (birth/data presence must agree — those depend only on config).
+// Restore overwrites the chip's mutable state with a sealed image by
+// aliasing its chunks; the chip copies a chunk only on first write. The
+// image is only read, so concurrent restores from one ChipState are safe.
+// Panics on geometry or configuration mismatch (birth/data presence must
+// agree — those depend only on config).
 func (c *Chip) Restore(s *ChipState) {
 	if c.geom != s.geom {
 		panic("nand: Restore geometry mismatch")
 	}
-	if (c.birth != nil) != (s.birth != nil) || (c.data != nil) != (s.data != nil) {
+	if (c.birth != nil) != s.hasBirth || (c.data != nil) != s.hasData {
 		panic("nand: Restore config mismatch (Reliability/StoreData)")
 	}
-	copy(c.state, s.state)
-	copy(c.cursor, s.cursor)
-	copy(c.erases, s.erases)
-	copy(c.reads, s.reads)
+	c.state.Restore(s.state)
+	c.cursor.Restore(s.cursor)
+	c.erases.Restore(s.erases)
+	c.reads.Restore(s.reads)
 	if c.birth != nil {
-		copy(c.birth, s.birth)
+		c.birth.Restore(s.birth)
 	}
 	if c.data != nil {
-		c.data.copyFrom(s.data)
+		c.data.arr.Restore(s.data)
 	}
 	c.stats = s.stats
 	c.factoryBad.CopyFrom(&s.factoryBad)

@@ -1,11 +1,13 @@
 package nand
 
+import "ssdtp/internal/cow"
+
 // pageStore holds page payloads in lazily allocated fixed-size chunks of
-// contiguous pages, replacing the former map[int64][]byte. Chunking keeps
-// sparse stores cheap (untouched regions allocate nothing) while making the
-// common dense case — a prefilled drive — a handful of large flat buffers
-// that snapshot/clone can copy with memcpy instead of re-hashing and
-// re-allocating every page.
+// contiguous pages (a cow.Array of bytes). Chunking keeps sparse stores
+// cheap — untouched regions allocate nothing — while making the dense case
+// (a prefilled drive) a handful of large flat buffers; the COW layer lets a
+// snapshot seal those buffers as a shared image so clones alias them and
+// copy a chunk only on first write.
 //
 // A zeroed (or never-allocated) page region is indistinguishable from a
 // programmed page whose payload was not stored: both read as zeros, matching
@@ -16,96 +18,34 @@ const pagesPerChunk = 64
 
 type pageStore struct {
 	pageSize int
-	chunks   [][]byte // chunk i covers pages [i*pagesPerChunk, (i+1)*pagesPerChunk)
+	arr      *cow.Array[byte]
 }
 
 func newPageStore(pageSize int, pages int64) *pageStore {
-	n := (pages + pagesPerChunk - 1) / pagesPerChunk
 	return &pageStore{
 		pageSize: pageSize,
-		chunks:   make([][]byte, n),
+		arr:      cow.NewArray[byte](pages*int64(pageSize), pagesPerChunk*int64(pageSize), 1, 0),
 	}
 }
 
-// put copies data into the page's slot, allocating its chunk on first touch.
+// put copies data into the page's slot, materializing or privatizing its
+// chunk on first touch. Pages never straddle chunks: the chunk length is a
+// whole multiple of the page size.
 func (s *pageStore) put(idx int64, data []byte) {
-	ci := idx / pagesPerChunk
-	ch := s.chunks[ci]
-	if ch == nil {
-		ch = make([]byte, pagesPerChunk*s.pageSize)
-		s.chunks[ci] = ch
-	}
-	off := (idx % pagesPerChunk) * int64(s.pageSize)
-	copy(ch[off:off+int64(s.pageSize)], data)
+	off := idx * int64(s.pageSize)
+	copy(s.arr.MutSpan(off, off+int64(s.pageSize)), data)
 }
 
 // read copies the page's payload into buf; zeros if the chunk was never
-// allocated (never-stored payload).
+// materialized (never-stored payload).
 func (s *pageStore) read(idx int64, buf []byte) {
-	ch := s.chunks[idx/pagesPerChunk]
-	if ch == nil {
-		for i := range buf {
-			buf[i] = 0
-		}
-		return
-	}
-	off := (idx % pagesPerChunk) * int64(s.pageSize)
-	copy(buf, ch[off:off+int64(s.pageSize)])
+	off := idx * int64(s.pageSize)
+	s.arr.CopyOut(off, off+int64(s.pageSize), buf)
 }
 
-// zeroRange clears payloads for pages [base, base+n), skipping unallocated
-// chunks (already zero). Erase uses it in place of the old per-page deletes.
+// zeroRange clears payloads for pages [base, base+n). Chunk-aligned spans
+// release their chunks outright — an erase of a chunk's worth of pages costs
+// no copy even when the chunk is shared with an image.
 func (s *pageStore) zeroRange(base, n int64) {
-	for idx := base; idx < base+n; {
-		ci := idx / pagesPerChunk
-		end := (ci + 1) * pagesPerChunk
-		if end > base+n {
-			end = base + n
-		}
-		if ch := s.chunks[ci]; ch != nil {
-			lo := (idx % pagesPerChunk) * int64(s.pageSize)
-			hi := (end - ci*pagesPerChunk) * int64(s.pageSize)
-			for i := lo; i < hi; i++ {
-				ch[i] = 0
-			}
-		}
-		idx = end
-	}
-}
-
-// copyFrom makes s an exact deep copy of src, reusing s's chunk buffers
-// where already allocated.
-func (s *pageStore) copyFrom(src *pageStore) {
-	if s.pageSize != src.pageSize || len(s.chunks) != len(src.chunks) {
-		panic("nand: pageStore geometry mismatch")
-	}
-	for i, sc := range src.chunks {
-		if sc == nil {
-			if dc := s.chunks[i]; dc != nil {
-				for j := range dc {
-					dc[j] = 0
-				}
-			}
-			continue
-		}
-		dc := s.chunks[i]
-		if dc == nil {
-			dc = make([]byte, len(sc))
-			s.chunks[i] = dc
-		}
-		copy(dc, sc)
-	}
-}
-
-// clone returns an independent deep copy.
-func (s *pageStore) clone() *pageStore {
-	c := &pageStore{pageSize: s.pageSize, chunks: make([][]byte, len(s.chunks))}
-	for i, ch := range s.chunks {
-		if ch != nil {
-			buf := make([]byte, len(ch))
-			copy(buf, ch)
-			c.chunks[i] = buf
-		}
-	}
-	return c
+	s.arr.FillRange(base*int64(s.pageSize), (base+n)*int64(s.pageSize))
 }

@@ -3,6 +3,7 @@ package ssd
 import (
 	"fmt"
 
+	"ssdtp/internal/cow"
 	"ssdtp/internal/ftl"
 	"ssdtp/internal/nand"
 	"ssdtp/internal/obs"
@@ -489,6 +490,33 @@ func (d *Device) PublishMetrics(tr *obs.Tracer) {
 
 // NANDPageTicks returns the combined host+FTL "NAND Pages" counter, the
 // quantity Figure 4 divides host bytes by.
+// MemStats returns chunk-level memory accounting summed over the drive's
+// COW-backed state: every chip's arrays plus the FTL's mapping tables. A
+// freshly cloned drive reports all-shared (it owns nothing yet); OwnedBytes
+// then grows with the clone's dirty set.
+func (d *Device) MemStats() cow.Stats {
+	var st cow.Stats
+	for _, row := range d.array.chips {
+		for _, c := range row {
+			st.Add(c.MemStats())
+		}
+	}
+	st.Add(d.fl.MemStats())
+	return st
+}
+
+// VisitSharedChunks calls f for every chunk the drive shares with a sealed
+// image, with a comparable identity for deduplicating image bytes across
+// drives cloned from the same snapshot (see cow.Array.VisitShared).
+func (d *Device) VisitSharedChunks(f func(id any, bytes int64)) {
+	for _, row := range d.array.chips {
+		for _, c := range row {
+			c.VisitSharedChunks(f)
+		}
+	}
+	d.fl.VisitSharedChunks(f)
+}
+
 func (d *Device) NANDPageTicks() int64 {
 	c := d.fl.Counters()
 	page := int64(d.cfg.Geometry.PageSize)
