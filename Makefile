@@ -12,11 +12,19 @@ vet:
 	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
 
 bench:
-	scripts/bench.sh BENCH_8.json
+	scripts/bench.sh BENCH_9.json
 
 # Gate the scheduler/stats hot paths against the previous committed baseline.
 bench-diff:
-	$(GO) run ./cmd/benchdiff -filter 'BenchmarkEngine|BenchmarkRecorder' BENCH_7.json BENCH_8.json
+	$(GO) run ./cmd/benchdiff -filter 'BenchmarkEngine|BenchmarkRecorder' BENCH_8.json BENCH_9.json
+
+# CPU and allocation profiles of the Fig1 aging benchmark — where the
+# request path spends its time and what still allocates. Open with
+# `go tool pprof cpu.pprof` / `go tool pprof -sample_index=alloc_objects mem.pprof`.
+profile:
+	$(GO) test . -run '^$$' -bench BenchmarkFig1Aging -benchtime 1x \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof mem.pprof"
 
 # The parallel-engine determinism suite at several scheduler widths: the
 # sharded fleet pump and the cell pool must be byte-identical to serial under

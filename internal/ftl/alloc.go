@@ -107,15 +107,22 @@ func (f *FTL) tryIssue(pu *puState, op *pageOp) bool {
 	// buffered; a demand read is always more urgent.
 	background := f.cfg.GCSuspend &&
 		(op.kind != kindData || op.entries != nil)
+	op.blk, op.gb, op.ppn = blk, gb, ppn
 	f.prof.SetOp(op.req)
-	f.flash.Program(pu.ch, pu.chip, addr, op.slc, background, func(err error) {
-		if err != nil {
-			f.programFailed(pu, op, blk, gb)
-			return
-		}
-		f.commitPage(pu, op, ppn, gb)
-	})
+	f.flash.Program(pu.ch, pu.chip, addr, op.slc, background, op.progDone)
 	return true
+}
+
+// onProgramDone is the shared flash-program completion: op.progDone (built
+// once per pooled descriptor) forwards here with the placement tryIssue
+// recorded on the op.
+func (f *FTL) onProgramDone(op *pageOp, err error) {
+	pu := &f.pus[op.pu]
+	if err != nil {
+		f.programFailed(pu, op, op.blk, op.gb)
+		return
+	}
+	f.commitPage(pu, op, op.ppn, op.gb)
 }
 
 // programFailed handles a grown-bad-block event: retire the block, abandon

@@ -152,11 +152,7 @@ func (f *FTL) writeCached(lsn int64, count int, done func()) {
 		return
 	}
 	attr.Mark(obs.PhaseCacheHit)
-	f.eng.Schedule(cacheLatency, func() {
-		if done != nil {
-			done()
-		}
-	})
+	f.scheduleDone(done)
 }
 
 // maybeFlushCache starts eviction flushes while the cache is above its flush
@@ -275,12 +271,7 @@ func (f *FTL) releaseAdmitWaiters() {
 		c.admitWaiters[last] = admitWaiter{} // drop stale refs (attr pinning)
 		c.admitWaiters = c.admitWaiters[:last]
 		f.prof.StallExit(w.attr, obs.PhaseCacheHit)
-		done := w.done
-		f.eng.Schedule(cacheLatency, func() {
-			if done != nil {
-				done()
-			}
-		})
+		f.scheduleDone(w.done)
 	}
 }
 

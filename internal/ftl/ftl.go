@@ -62,6 +62,15 @@ type pageOp struct {
 	done    func()
 	req     *obs.ReqAttr // host request this program serves; nil for background
 
+	// Issue-time placement, recorded by tryIssue so the prebuilt progDone
+	// callback can route the flash completion without a per-program closure.
+	ppn int64
+	gb  int64
+	blk int32
+	// progDone is built once per descriptor (pool growth only) and handed to
+	// Flash.Program on every issue; it reads the fields above.
+	progDone func(error)
+
 	// Backing arrays (length secPerPage) retained across recycling; the
 	// slices above are views into these — or nil, which several call sites
 	// use to distinguish op flavors (entries==nil means a direct write).
@@ -155,6 +164,15 @@ type FTL struct {
 	// per-request hot path allocates nothing at steady state.
 	opFree      *pageOp
 	readScratch []int64
+	// reqFree / readOpFree recycle the per-request completion counters and
+	// per-page read descriptors (see hostReq/readOp); puWakes holds one
+	// prebuilt starved-PU kick closure per parallel unit; idleTickFn is the
+	// idle-patrol callback built once so touchIdle re-arms without
+	// allocating a method value per host request.
+	reqFree    *hostReq
+	readOpFree *readOp
+	puWakes    []func()
+	idleTickFn func()
 	// cacheFlushDone is the shared completion closure for cache-eviction
 	// programs (identical for every flush, so built once, lazily).
 	cacheFlushDone func()
@@ -269,6 +287,16 @@ func New(eng *sim.Engine, flash Flash, cfg Config) *FTL {
 		f.gcReadTags[i] = gcReadTag{pu: i}
 		f.gcEraseTags[i] = gcEraseTag{pu: i}
 	}
+	f.puWakes = make([]func(), f.numPU)
+	for i := range f.pus {
+		pu := &f.pus[i]
+		f.puWakes[i] = func() {
+			f.maybeStartGC(pu, false)
+			f.drainPUWaiters(pu)
+			f.pumpDrain()
+		}
+	}
+	f.idleTickFn = f.idleTick
 
 	switch cfg.Cache {
 	case CacheData:
@@ -497,6 +525,7 @@ func (f *FTL) newPageOp(kind pageKind, pu int) *pageOp {
 			oldBuf:     make([]int64, f.secPerPage),
 			entriesBuf: make([]*cacheEntry, f.secPerPage),
 		}
+		op.progDone = func(err error) { f.onProgramDone(op, err) }
 	}
 	op.kind = kind
 	op.pu = pu
@@ -519,14 +548,96 @@ func (f *FTL) releaseOp(op *pageOp) {
 	f.opFree = op
 }
 
+// hostReq is a pooled per-request completion counter: one per host
+// write/read that fans out into several page operations. fire is built once
+// per descriptor (pool growth only) and decrements pending, running — and
+// recycling — on the last completion, so the steady-state fan-in allocates
+// nothing.
+type hostReq struct {
+	f       *FTL
+	pending int
+	done    func()
+	fire    func()
+	next    *hostReq
+}
+
+func (f *FTL) newHostReq(pending int, done func()) *hostReq {
+	r := f.reqFree
+	if r == nil {
+		r = &hostReq{f: f}
+		r.fire = func() {
+			r.pending--
+			if r.pending != 0 {
+				return
+			}
+			done := r.done
+			r.done = nil
+			r.next = r.f.reqFree
+			r.f.reqFree = r
+			if done != nil {
+				done()
+			}
+		}
+	} else {
+		f.reqFree = r.next
+		r.next = nil
+	}
+	r.pending = pending
+	r.done = done
+	return r
+}
+
+// readOp is a pooled per-page read continuation: the flash-read completion
+// for one distinct physical page of a host read. Like hostReq, fire is
+// built once per descriptor and recycles it before fanning into the
+// request counter.
+type readOp struct {
+	f    *FTL
+	ppn  int64
+	req  *hostReq
+	fire func(int, error)
+	next *readOp
+}
+
+func (f *FTL) newReadOp(ppn int64, req *hostReq) *readOp {
+	ro := f.readOpFree
+	if ro == nil {
+		ro = &readOp{f: f}
+		ro.fire = func(bits int, _ error) {
+			f := ro.f
+			f.inflightReads--
+			f.applyReadHealth(ro.ppn, bits)
+			if f.cfg.GCYield && f.inflightReads == 0 {
+				f.resumeYieldedGC()
+			}
+			req := ro.req
+			ro.req = nil
+			ro.next = f.readOpFree
+			f.readOpFree = ro
+			req.fire()
+		}
+	} else {
+		f.readOpFree = ro.next
+		ro.next = nil
+	}
+	ro.ppn = ppn
+	ro.req = req
+	return ro
+}
+
+// fireDoneArg invokes a func() carried through ScheduleArg's descriptor
+// slot. Storing a func value in the interface does not allocate, so
+// scheduleDone is closure-free.
+func fireDoneArg(arg any) {
+	if done, ok := arg.(func()); ok && done != nil {
+		done()
+	}
+}
+
 // scheduleDone completes a request after DRAM-path latency, tolerating nil
 // callbacks.
 func (f *FTL) scheduleDone(done func()) {
-	f.eng.Schedule(cacheLatency, func() {
-		if done != nil {
-			done()
-		}
-	})
+	f.eng.ScheduleArg(cacheLatency, fireDoneArg, done)
 }
 
 // checkRange validates a host sector range.
@@ -565,7 +676,7 @@ func (f *FTL) Write(lsn int64, count int, done func()) error {
 // completes when every page program has committed.
 func (f *FTL) writeDirect(lsn int64, count int, done func()) {
 	pages := (count + f.secPerPage - 1) / f.secPerPage
-	pending := pages
+	req := f.newHostReq(pages, done)
 	for p := 0; p < pages; p++ {
 		op := f.newPageOp(kindData, f.nextPU())
 		lsns := op.lsnsBuf
@@ -580,12 +691,7 @@ func (f *FTL) writeDirect(lsn int64, count int, done func()) {
 		op.lsns = lsns
 		op.slc = f.takePSLCCredit()
 		op.req = f.prof.Cur()
-		op.done = func() {
-			pending--
-			if pending == 0 && done != nil {
-				done()
-			}
-		}
+		op.done = req.fire
 		f.submitPage(op)
 	}
 }
@@ -637,25 +743,14 @@ func (f *FTL) Read(lsn int64, count int, done func()) error {
 		f.scheduleDone(done)
 		return nil
 	}
-	pending := len(pages)
+	req := f.newHostReq(len(pages), done)
 	for _, ppn := range pages {
-		ppn := ppn
 		pu, a := f.addrOfPPN(ppn)
 		p := &f.pus[pu]
 		f.counters.PageReads++
 		f.inflightReads++
 		f.prof.SetOp(attr)
-		f.flash.Read(p.ch, p.chip, a, f.cfg.GCSuspend, func(bits int, _ error) {
-			f.inflightReads--
-			f.applyReadHealth(ppn, bits)
-			if f.cfg.GCYield && f.inflightReads == 0 {
-				f.resumeYieldedGC()
-			}
-			pending--
-			if pending == 0 && done != nil {
-				done()
-			}
-		})
+		f.flash.Read(p.ch, p.chip, a, f.cfg.GCSuspend, f.newReadOp(ppn, req).fire)
 	}
 	return nil
 }
@@ -758,15 +853,12 @@ func (f *FTL) invalidate(psn int64) {
 // mid-commit; duplicate kicks are harmless (maybeStartGC and
 // drainPUWaiters are idempotent).
 func (f *FTL) wakeStarvedPU(gb int64) {
-	pu := &f.pus[int(gb/int64(f.blksPerPU))]
+	puIdx := int(gb / int64(f.blksPerPU))
+	pu := &f.pus[puIdx]
 	if pu.gcRunning || (len(pu.waiters) == 0 && len(pu.free) >= f.cfg.GCLowWater) {
 		return
 	}
-	f.eng.Schedule(0, func() {
-		f.maybeStartGC(pu, false)
-		f.drainPUWaiters(pu)
-		f.pumpDrain()
-	})
+	f.eng.Schedule(0, f.puWakes[puIdx])
 }
 
 // commitMapping installs lsn -> psn, invalidating any prior location.
@@ -799,7 +891,7 @@ func (f *FTL) touchIdle() {
 	}
 	f.idleEvent.Cancel()
 	f.idleStreak = 0
-	f.idleEvent = f.eng.Schedule(f.cfg.IdleDelay, f.idleTick)
+	f.idleEvent = f.eng.Schedule(f.cfg.IdleDelay, f.idleTickFn)
 }
 
 // idlePatrolCap bounds how long the idle patrol keeps rescheduling itself
@@ -832,6 +924,6 @@ func (f *FTL) idleTick() {
 			delay = max
 		}
 		f.idleStreak++
-		f.idleEvent = f.eng.Schedule(delay, f.idleTick)
+		f.idleEvent = f.eng.Schedule(delay, f.idleTickFn)
 	}
 }

@@ -295,14 +295,14 @@ func (f *FTL) Restore(st *State) {
 	idleDue := st.idleArmed
 	for _, op := range pending {
 		if idleDue && st.idleSeq < op.EventSeq {
-			f.idleEvent = f.eng.At(st.idleTime, f.idleTick)
+			f.idleEvent = f.eng.At(st.idleTime, f.idleTickFn)
 			idleDue = false
 		}
 		rd, ed := f.resumedDones(op)
 		f.tflash.ResumeOp(op, rd, ed)
 	}
 	if idleDue {
-		f.idleEvent = f.eng.At(st.idleTime, f.idleTick)
+		f.idleEvent = f.eng.At(st.idleTime, f.idleTickFn)
 	}
 }
 

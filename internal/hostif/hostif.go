@@ -116,6 +116,61 @@ type Controller struct {
 
 	inflight int
 	rrNext   int
+
+	// cmdFree recycles issuedCmd descriptors (see issue).
+	cmdFree *issuedCmd
+}
+
+// issuedCmd is one command in flight at the device: a pooled descriptor
+// whose completion callback is built once (pool growth only) and handed to
+// the device's async entry points, so steady-state issue allocates nothing.
+// fire recycles the descriptor before running the caller's Done, mirroring
+// the descriptor-ownership rules of the layers below (DESIGN.md §13).
+type issuedCmd struct {
+	c      *Controller
+	q      *Queue
+	submit sim.Time
+	sp     obs.Span
+	done   func(latency sim.Time)
+	fire   func()
+	next   *issuedCmd
+}
+
+func (c *Controller) newCmd(q *Queue, pr pendingReq) *issuedCmd {
+	ic := c.cmdFree
+	if ic == nil {
+		ic = &issuedCmd{c: c}
+		ic.fire = func() {
+			c := ic.c
+			c.inflight--
+			lat := c.dev.Engine().Now() - ic.submit
+			q, sp, done := ic.q, ic.sp, ic.done
+			c.releaseCmd(ic)
+			q.Latency.Record(lat)
+			q.Completed++
+			sp.End()
+			if done != nil {
+				done(lat)
+			}
+			c.pump()
+		}
+	} else {
+		c.cmdFree = ic.next
+		ic.next = nil
+	}
+	ic.q = q
+	ic.submit = pr.submit
+	ic.sp = pr.sp
+	ic.done = pr.req.Done
+	return ic
+}
+
+func (c *Controller) releaseCmd(ic *issuedCmd) {
+	ic.q = nil
+	ic.sp = obs.Span{}
+	ic.done = nil
+	ic.next = c.cmdFree
+	c.cmdFree = ic
 }
 
 // NewController wraps dev, inheriting its tracer (if any): each submitted
@@ -140,7 +195,15 @@ func (c *Controller) CreateQueue(depth, weight int) *Queue {
 	if weight <= 0 {
 		weight = 1
 	}
-	q := &Queue{id: len(c.queues), depth: depth, weight: weight, Latency: stats.NewLatencyRecorder()}
+	// pending is pre-sized to depth: Submit rejects past depth, so the ring
+	// never reallocates once created.
+	q := &Queue{
+		id:      len(c.queues),
+		depth:   depth,
+		weight:  weight,
+		pending: make([]pendingReq, 0, depth),
+		Latency: stats.NewLatencyRecorder(),
+	}
 	c.queues = append(c.queues, q)
 	return q
 }
@@ -234,37 +297,26 @@ func (c *Controller) pick() *Queue {
 
 // issue sends one command to the device.
 func (c *Controller) issue(q *Queue, pr pendingReq) {
-	req, submit := pr.req, pr.submit
+	req := pr.req
 	c.inflight++
 	if c.tr.Enabled() {
 		pr.sp.Event("hostif.issue", obs.Int("inflight", int64(c.inflight)))
 	}
 	// Queueing ends here; the device adopts the record through the hand-off
-	// slot (the *Async calls below are synchronous into traceRequest).
+	// slot (the *Async calls below are synchronous into submitIO).
 	pr.attr.Mark(obs.PhaseDispatch)
 	c.prof.SetHandoff(pr.attr)
-	eng := c.dev.Engine()
-	complete := func() {
-		c.inflight--
-		lat := eng.Now() - submit
-		q.Latency.Record(lat)
-		q.Completed++
-		pr.sp.End()
-		if req.Done != nil {
-			req.Done(lat)
-		}
-		c.pump()
-	}
+	ic := c.newCmd(q, pr)
 	var err error
 	switch req.Kind {
 	case OpRead:
-		err = c.dev.ReadAsync(req.Off, nil, req.Len, complete)
+		err = c.dev.ReadAsync(req.Off, nil, req.Len, ic.fire)
 	case OpWrite:
-		err = c.dev.WriteAsync(req.Off, nil, req.Len, complete)
+		err = c.dev.WriteAsync(req.Off, nil, req.Len, ic.fire)
 	case OpTrim:
-		err = c.dev.TrimAsync(req.Off, req.Len, complete)
+		err = c.dev.TrimAsync(req.Off, req.Len, ic.fire)
 	case OpFlush:
-		err = c.dev.FlushAsync(complete)
+		err = c.dev.FlushAsync(ic.fire)
 	default:
 		panic(fmt.Sprintf("hostif: unknown op kind %d", req.Kind))
 	}

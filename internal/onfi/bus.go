@@ -39,6 +39,10 @@ type Bus struct {
 	// orders their resource-queue entries for snapshot/restore.
 	ops  []*busOp
 	qseq uint64
+	// freeHost / freeTracked recycle operation descriptors so steady-state
+	// host and GC traffic allocates nothing (see pooled.go, tracked.go).
+	freeHost    *hostOp
+	freeTracked *busOp
 
 	// Observability (SetTrace): nand.* spans for per-die Perfetto tracks and
 	// latency-attribution phase marks. Only the untracked operation paths
@@ -174,38 +178,6 @@ func (b *Bus) checkChip(chip int) *nand.Chip {
 		panic(fmt.Sprintf("onfi: chip %d out of range on bus %d", chip, b.id))
 	}
 	return b.chips[chip]
-}
-
-// Program writes data (PageSize bytes, or nil) to addr on chip, invoking
-// done(err) when the array operation completes.
-func (b *Bus) Program(chip int, addr nand.Addr, data []byte, done func(error)) {
-	b.programMulti(chip, []nand.Addr{addr}, [][]byte{data}, b.timing.ProgramPage, done)
-}
-
-// ProgramSLC is Program with pseudo-SLC array timing (one bit per cell
-// programs ~4x faster). The bus protocol is identical — which is exactly why
-// a probe-based decoder cannot distinguish SLC-mode programs except by their
-// busy time.
-func (b *Bus) ProgramSLC(chip int, addr nand.Addr, data []byte, done func(error)) {
-	b.programMulti(chip, []nand.Addr{addr}, [][]byte{data}, b.timing.SLCMode().ProgramPage, done)
-}
-
-// ProgramBG issues a background (relocation/refresh) program whose array
-// phase is suspendable by priority reads — the ONFI program-suspend feature
-// preemptible-GC designs rely on.
-func (b *Bus) ProgramBG(chip int, addr nand.Addr, data []byte, slc bool, done func(error)) {
-	tprog := b.timing.ProgramPage
-	if slc {
-		tprog = b.timing.SLCMode().ProgramPage
-	}
-	die := addr.Die
-	b.markSuspendable(chip, die, true)
-	b.programMulti(chip, []nand.Addr{addr}, [][]byte{data}, tprog, func(err error) {
-		b.markSuspendable(chip, die, false)
-		if done != nil {
-			done(err)
-		}
-	})
 }
 
 func (b *Bus) markSuspendable(chip, die int, v bool) {
@@ -371,114 +343,6 @@ func (b *Bus) emitCmdAddrAt(chip, die int, cmd byte, withColumn bool, row uint32
 	return dur
 }
 
-// Read fills buf (PageSize bytes, or nil) from addr on chip and calls
-// done(err) when the payload has fully transferred.
-func (b *Bus) Read(chip int, addr nand.Addr, buf []byte, done func(error)) {
-	c := b.checkChip(chip)
-	g := c.Geometry()
-	die := addr.Die
-	ax := b.prof.TakeOp()
-	ax.Mark(b.dieWaitPhase(chip, die))
-	var sp obs.Span
-	b.dies[chip][die].Acquire(func() {
-		sp = b.beginNandSpan("nand.read", chip, die)
-		ax.Mark(obs.PhaseChanWait)
-		// Phase 1: command + address + confirm, short bus hold.
-		b.wires.Acquire(func() {
-			ax.Mark(obs.PhaseNAND)
-			dur := b.emitCmdAddrAt(chip, die, CmdReadSetup, true, g.RowAddress(addr), 0)
-			if b.observed() {
-				b.emit(BusEvent{Time: b.eng.Now() + dur, Bus: b.id, Chip: chip, Die: die, Kind: EventCmd, Byte: CmdReadConfirm})
-			}
-			dur += b.timing.CmdCycle
-			b.stats.CmdCycles++
-			b.eng.Schedule(dur, func() {
-				if b.observed() {
-					b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: chip, Die: die, Kind: EventBusy})
-				}
-				b.wires.Release()
-				// Phase 2: array read (bus free), then data-out transfer.
-				b.eng.Schedule(b.timing.ReadPage, func() {
-					err := c.Read(addr, buf)
-					if b.observed() {
-						b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: chip, Die: die, Kind: EventReady})
-					}
-					n := g.PageSize
-					ax.Mark(obs.PhaseChanWait)
-					b.wires.Acquire(func() {
-						ax.Mark(obs.PhaseNAND)
-						xfer := b.timing.TransferTime(n)
-						if b.observed() {
-							b.emit(BusEvent{Time: b.eng.Now(), Dur: xfer, Bus: b.id, Chip: chip, Die: die, Kind: EventDataOut, Len: n})
-						}
-						b.stats.BytesOut += int64(n)
-						b.stats.Reads++
-						b.eng.Schedule(xfer, func() {
-							b.wires.Release()
-							sp.End()
-							b.dies[chip][die].Release()
-							if done != nil {
-								done(err)
-							}
-						})
-					})
-				})
-			})
-		})
-	})
-}
-
-// EraseBG issues an erase whose array phase is suspendable by priority
-// reads (erase-suspend, standard on modern parts).
-func (b *Bus) EraseBG(chip int, addr nand.Addr, done func(error)) {
-	die := addr.Die
-	b.markSuspendable(chip, die, true)
-	b.Erase(chip, addr, func(err error) {
-		b.markSuspendable(chip, die, false)
-		if done != nil {
-			done(err)
-		}
-	})
-}
-
-// Erase erases the block containing addr on chip; done(err) fires when the
-// array operation completes.
-func (b *Bus) Erase(chip int, addr nand.Addr, done func(error)) {
-	c := b.checkChip(chip)
-	g := c.Geometry()
-	die := addr.Die
-	ax := b.prof.TakeOp()
-	ax.Mark(b.dieWaitPhase(chip, die))
-	var sp obs.Span
-	b.dies[chip][die].Acquire(func() {
-		sp = b.beginNandSpan("nand.erase", chip, die)
-		ax.Mark(obs.PhaseChanWait)
-		b.wires.Acquire(func() {
-			ax.Mark(obs.PhaseNAND)
-			dur := b.emitCmdAddrAt(chip, die, CmdEraseSetup, false, g.RowAddress(addr), 0)
-			if b.observed() {
-				b.emit(BusEvent{Time: b.eng.Now() + dur, Bus: b.id, Chip: chip, Die: die, Kind: EventCmd, Byte: CmdEraseConfirm})
-			}
-			dur += b.timing.CmdCycle
-			b.stats.CmdCycles++
-			b.eng.Schedule(dur, func() {
-				if b.observed() {
-					b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: chip, Die: die, Kind: EventBusy})
-				}
-				b.wires.Release()
-				b.eng.Schedule(b.timing.EraseBlock, func() {
-					err := c.Erase(addr)
-					b.stats.Erases++
-					if b.observed() {
-						b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: chip, Die: die, Kind: EventReady})
-					}
-					sp.End()
-					b.dies[chip][die].Release()
-					if done != nil {
-						done(err)
-					}
-				})
-			})
-		})
-	})
-}
+// Read, ReadEx, Erase, EraseBG, Program, ProgramSLC and ProgramBG — the
+// steady-state host/FTL operation paths — live in pooled.go as
+// freelist-recycled state machines.

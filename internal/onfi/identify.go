@@ -1,7 +1,6 @@
 package onfi
 
 import (
-	"ssdtp/internal/nand"
 	"ssdtp/internal/sim"
 )
 
@@ -82,18 +81,5 @@ func (b *Bus) ReadParameterPage(chip int, done func([]byte, error)) {
 				})
 			})
 		})
-	})
-}
-
-// ReadEx is Read with the chip's raw bit-error count for the page delivered
-// alongside completion — what the controller's ECC engine reports and the
-// FTL's refresh logic consumes.
-func (b *Bus) ReadEx(chip int, addr nand.Addr, buf []byte, done func(bitErrors int, err error)) {
-	c := b.checkChip(chip)
-	bits := c.BitErrors(addr)
-	b.Read(chip, addr, buf, func(err error) {
-		if done != nil {
-			done(bits, err)
-		}
 	})
 }

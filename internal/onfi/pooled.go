@@ -1,0 +1,376 @@
+package onfi
+
+import (
+	"ssdtp/internal/nand"
+	"ssdtp/internal/obs"
+	"ssdtp/internal/sim"
+)
+
+// Pooled state machines for the untracked host-path operations (DESIGN.md
+// §13). Program/ProgramSLC/ProgramBG, Read/ReadEx and Erase/EraseBG used to
+// run as 4–5-deep closure chains — one fresh closure per Acquire/Schedule
+// hop, the dominant per-request allocation in the whole simulator. Each
+// operation now lives in a freelist-recycled hostOp descriptor and advances
+// through top-level stage functions via Resource.AcquireArg and
+// Engine.ScheduleArg, so a steady-state operation allocates nothing.
+//
+// The stage sequence mirrors the original closure chains *exactly*: every
+// Acquire, Schedule, observer emit, stats increment, span edge and
+// attribution mark happens at the same simulated instant and in the same
+// order, so traces, metrics and timings are byte-identical. ProgramMulti
+// (multi-plane, used only by protocol-level tests) and the ReadPri suspend
+// path keep their closure forms — they are off the steady-state host path.
+
+// hostOpKind selects the stage chain a hostOp advances through.
+type hostOpKind uint8
+
+const (
+	hostProgram hostOpKind = iota
+	hostRead
+	hostErase
+)
+
+// hostOp is the pooled descriptor for one in-flight untracked operation.
+// The issuing entry point fills it, the stage functions advance it, and the
+// final stage releases it back to the bus freelist *before* invoking the
+// completion callback — mirroring the engine's node recycling, so a
+// completion that issues a follow-up operation reuses the descriptor it
+// just vacated.
+type hostOp struct {
+	b    *Bus
+	kind hostOpKind
+	chip int
+	addr nand.Addr
+	data []byte // program payload (may be nil)
+	buf  []byte // read destination (may be nil)
+
+	tprog sim.Time // program: array time (SLC-derated for pSLC)
+	bits  int      // ReadEx: bit errors, computed at issue
+	err   error
+
+	// clearSuspend marks background program/erase ops that must drop the
+	// die's suspend mark at completion (after the die release, before done —
+	// the order the closure-based wrappers established).
+	clearSuspend bool
+
+	sp obs.Span
+	ax *obs.ReqAttr
+
+	done     func(error)      // program, erase, plain Read
+	doneBits func(int, error) // ReadEx
+	next     *hostOp          // bus freelist link
+}
+
+// newHostOp pops the bus freelist or grows it by one descriptor.
+func (b *Bus) newHostOp(kind hostOpKind, chip int, addr nand.Addr) *hostOp {
+	op := b.freeHost
+	if op != nil {
+		b.freeHost = op.next
+		op.next = nil
+	} else {
+		op = &hostOp{}
+	}
+	op.b = b
+	op.kind = kind
+	op.chip = chip
+	op.addr = addr
+	return op
+}
+
+// releaseHostOp zeroes the descriptor and returns it to the freelist. The
+// caller must have copied out anything it still needs (the completion
+// callback, the error) — the descriptor may be reissued from inside the
+// completion.
+func (b *Bus) releaseHostOp(op *hostOp) {
+	*op = hostOp{next: b.freeHost}
+	b.freeHost = op
+}
+
+// --- Program -------------------------------------------------------------
+
+// Program writes data (PageSize bytes, or nil) to addr on chip, invoking
+// done(err) when the array operation completes.
+func (b *Bus) Program(chip int, addr nand.Addr, data []byte, done func(error)) {
+	b.programOne(chip, addr, data, b.timing.ProgramPage, false, done)
+}
+
+// ProgramSLC is Program with pseudo-SLC array timing (one bit per cell
+// programs ~4x faster). The bus protocol is identical — which is exactly why
+// a probe-based decoder cannot distinguish SLC-mode programs except by their
+// busy time.
+func (b *Bus) ProgramSLC(chip int, addr nand.Addr, data []byte, done func(error)) {
+	b.programOne(chip, addr, data, b.timing.SLCMode().ProgramPage, false, done)
+}
+
+// ProgramBG issues a background (relocation/refresh) program whose array
+// phase is suspendable by priority reads — the ONFI program-suspend feature
+// preemptible-GC designs rely on.
+func (b *Bus) ProgramBG(chip int, addr nand.Addr, data []byte, slc bool, done func(error)) {
+	tprog := b.timing.ProgramPage
+	if slc {
+		tprog = b.timing.SLCMode().ProgramPage
+	}
+	b.markSuspendable(chip, addr.Die, true)
+	b.programOne(chip, addr, data, tprog, true, done)
+}
+
+func (b *Bus) programOne(chip int, addr nand.Addr, data []byte, tprog sim.Time, background bool, done func(error)) {
+	b.checkChip(chip)
+	op := b.newHostOp(hostProgram, chip, addr)
+	op.data = data
+	op.tprog = tprog
+	op.clearSuspend = background
+	op.done = done
+	op.ax = b.prof.TakeOp()
+	op.ax.Mark(b.dieWaitPhase(chip, addr.Die))
+	b.dies[chip][addr.Die].AcquireArg(hostProgramDieGranted, op)
+}
+
+func hostProgramDieGranted(arg any) {
+	op := arg.(*hostOp)
+	b := op.b
+	op.sp = b.beginNandSpan("nand.program", op.chip, op.addr.Die)
+	op.ax.Mark(obs.PhaseChanWait)
+	b.wires.AcquireArg(hostProgramWiresGranted, op)
+}
+
+func hostProgramWiresGranted(arg any) {
+	op := arg.(*hostOp)
+	b := op.b
+	g := b.chips[op.chip].Geometry()
+	die := op.addr.Die
+	op.ax.Mark(obs.PhaseNAND)
+	// Data burst sits between address cycles and the confirm command; emit
+	// in that order with correct offsets (single-plane ProgramMulti body).
+	dur := b.emitCmdAddrAt(op.chip, die, CmdProgramSetup, true, g.RowAddress(op.addr), 0)
+	n := g.PageSize
+	xfer := b.timing.TransferTime(n)
+	if b.observed() {
+		b.emit(BusEvent{Time: b.eng.Now() + dur, Dur: xfer, Bus: b.id, Chip: op.chip, Die: die, Kind: EventDataIn, Len: n})
+	}
+	dur += xfer
+	if b.observed() {
+		b.emit(BusEvent{Time: b.eng.Now() + dur, Bus: b.id, Chip: op.chip, Die: die, Kind: EventCmd, Byte: CmdProgramConfirm})
+	}
+	dur += b.timing.CmdCycle
+	b.stats.CmdCycles++
+	b.stats.BytesIn += int64(n)
+	b.eng.ScheduleArg(dur, hostProgramCmdDone, op)
+}
+
+func hostProgramCmdDone(arg any) {
+	op := arg.(*hostOp)
+	b := op.b
+	if b.observed() {
+		b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: op.chip, Die: op.addr.Die, Kind: EventBusy})
+	}
+	b.wires.Release()
+	b.eng.ScheduleArg(op.tprog, hostProgramArrayDone, op)
+}
+
+func hostProgramArrayDone(arg any) {
+	op := arg.(*hostOp)
+	b := op.b
+	die := op.addr.Die
+	err := b.chips[op.chip].Program(op.addr, op.data)
+	b.stats.Programs++
+	if b.observed() {
+		b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: op.chip, Die: die, Kind: EventReady})
+	}
+	op.sp.End()
+	chip, clear, done := op.chip, op.clearSuspend, op.done
+	b.releaseHostOp(op)
+	b.dies[chip][die].Release()
+	if clear {
+		b.markSuspendable(chip, die, false)
+	}
+	if done != nil {
+		done(err)
+	}
+}
+
+// --- Read ----------------------------------------------------------------
+
+// Read fills buf (PageSize bytes, or nil) from addr on chip and calls
+// done(err) when the payload has fully transferred.
+func (b *Bus) Read(chip int, addr nand.Addr, buf []byte, done func(error)) {
+	b.checkChip(chip)
+	op := b.newHostOp(hostRead, chip, addr)
+	op.buf = buf
+	op.done = done
+	b.readIssue(op)
+}
+
+// ReadEx is Read with the chip's raw bit-error count for the page delivered
+// alongside completion — what the controller's ECC engine reports and the
+// FTL's refresh logic consumes.
+func (b *Bus) ReadEx(chip int, addr nand.Addr, buf []byte, done func(bitErrors int, err error)) {
+	c := b.checkChip(chip)
+	op := b.newHostOp(hostRead, chip, addr)
+	op.bits = c.BitErrors(addr)
+	op.buf = buf
+	op.doneBits = done
+	b.readIssue(op)
+}
+
+func (b *Bus) readIssue(op *hostOp) {
+	op.ax = b.prof.TakeOp()
+	op.ax.Mark(b.dieWaitPhase(op.chip, op.addr.Die))
+	b.dies[op.chip][op.addr.Die].AcquireArg(hostReadDieGranted, op)
+}
+
+func hostReadDieGranted(arg any) {
+	op := arg.(*hostOp)
+	b := op.b
+	op.sp = b.beginNandSpan("nand.read", op.chip, op.addr.Die)
+	op.ax.Mark(obs.PhaseChanWait)
+	// Phase 1: command + address + confirm, short bus hold.
+	b.wires.AcquireArg(hostReadWiresGranted, op)
+}
+
+func hostReadWiresGranted(arg any) {
+	op := arg.(*hostOp)
+	b := op.b
+	g := b.chips[op.chip].Geometry()
+	die := op.addr.Die
+	op.ax.Mark(obs.PhaseNAND)
+	dur := b.emitCmdAddrAt(op.chip, die, CmdReadSetup, true, g.RowAddress(op.addr), 0)
+	if b.observed() {
+		b.emit(BusEvent{Time: b.eng.Now() + dur, Bus: b.id, Chip: op.chip, Die: die, Kind: EventCmd, Byte: CmdReadConfirm})
+	}
+	dur += b.timing.CmdCycle
+	b.stats.CmdCycles++
+	b.eng.ScheduleArg(dur, hostReadCmdDone, op)
+}
+
+func hostReadCmdDone(arg any) {
+	op := arg.(*hostOp)
+	b := op.b
+	if b.observed() {
+		b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: op.chip, Die: op.addr.Die, Kind: EventBusy})
+	}
+	b.wires.Release()
+	// Phase 2: array read (bus free), then data-out transfer.
+	b.eng.ScheduleArg(b.timing.ReadPage, hostReadArrayDone, op)
+}
+
+func hostReadArrayDone(arg any) {
+	op := arg.(*hostOp)
+	b := op.b
+	op.err = b.chips[op.chip].Read(op.addr, op.buf)
+	if b.observed() {
+		b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: op.chip, Die: op.addr.Die, Kind: EventReady})
+	}
+	op.ax.Mark(obs.PhaseChanWait)
+	b.wires.AcquireArg(hostReadXferGranted, op)
+}
+
+func hostReadXferGranted(arg any) {
+	op := arg.(*hostOp)
+	b := op.b
+	n := b.chips[op.chip].Geometry().PageSize
+	op.ax.Mark(obs.PhaseNAND)
+	xfer := b.timing.TransferTime(n)
+	if b.observed() {
+		b.emit(BusEvent{Time: b.eng.Now(), Dur: xfer, Bus: b.id, Chip: op.chip, Die: op.addr.Die, Kind: EventDataOut, Len: n})
+	}
+	b.stats.BytesOut += int64(n)
+	b.stats.Reads++
+	b.eng.ScheduleArg(xfer, hostReadXferDone, op)
+}
+
+func hostReadXferDone(arg any) {
+	op := arg.(*hostOp)
+	b := op.b
+	die := op.addr.Die
+	chip, bits, err, sp := op.chip, op.bits, op.err, op.sp
+	done, doneBits := op.done, op.doneBits
+	b.releaseHostOp(op)
+	b.wires.Release()
+	sp.End()
+	b.dies[chip][die].Release()
+	if doneBits != nil {
+		doneBits(bits, err)
+	} else if done != nil {
+		done(err)
+	}
+}
+
+// --- Erase ---------------------------------------------------------------
+
+// Erase erases the block containing addr on chip; done(err) fires when the
+// array operation completes.
+func (b *Bus) Erase(chip int, addr nand.Addr, done func(error)) {
+	b.eraseIssue(chip, addr, false, done)
+}
+
+// EraseBG issues an erase whose array phase is suspendable by priority
+// reads (erase-suspend, standard on modern parts).
+func (b *Bus) EraseBG(chip int, addr nand.Addr, done func(error)) {
+	b.markSuspendable(chip, addr.Die, true)
+	b.eraseIssue(chip, addr, true, done)
+}
+
+func (b *Bus) eraseIssue(chip int, addr nand.Addr, background bool, done func(error)) {
+	b.checkChip(chip)
+	op := b.newHostOp(hostErase, chip, addr)
+	op.clearSuspend = background
+	op.done = done
+	op.ax = b.prof.TakeOp()
+	op.ax.Mark(b.dieWaitPhase(chip, addr.Die))
+	b.dies[chip][addr.Die].AcquireArg(hostEraseDieGranted, op)
+}
+
+func hostEraseDieGranted(arg any) {
+	op := arg.(*hostOp)
+	b := op.b
+	op.sp = b.beginNandSpan("nand.erase", op.chip, op.addr.Die)
+	op.ax.Mark(obs.PhaseChanWait)
+	b.wires.AcquireArg(hostEraseWiresGranted, op)
+}
+
+func hostEraseWiresGranted(arg any) {
+	op := arg.(*hostOp)
+	b := op.b
+	g := b.chips[op.chip].Geometry()
+	die := op.addr.Die
+	op.ax.Mark(obs.PhaseNAND)
+	dur := b.emitCmdAddrAt(op.chip, die, CmdEraseSetup, false, g.RowAddress(op.addr), 0)
+	if b.observed() {
+		b.emit(BusEvent{Time: b.eng.Now() + dur, Bus: b.id, Chip: op.chip, Die: die, Kind: EventCmd, Byte: CmdEraseConfirm})
+	}
+	dur += b.timing.CmdCycle
+	b.stats.CmdCycles++
+	b.eng.ScheduleArg(dur, hostEraseCmdDone, op)
+}
+
+func hostEraseCmdDone(arg any) {
+	op := arg.(*hostOp)
+	b := op.b
+	if b.observed() {
+		b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: op.chip, Die: op.addr.Die, Kind: EventBusy})
+	}
+	b.wires.Release()
+	b.eng.ScheduleArg(b.timing.EraseBlock, hostEraseArrayDone, op)
+}
+
+func hostEraseArrayDone(arg any) {
+	op := arg.(*hostOp)
+	b := op.b
+	die := op.addr.Die
+	err := b.chips[op.chip].Erase(op.addr)
+	b.stats.Erases++
+	if b.observed() {
+		b.emit(BusEvent{Time: b.eng.Now(), Bus: b.id, Chip: op.chip, Die: die, Kind: EventReady})
+	}
+	op.sp.End()
+	chip, clear, done := op.chip, op.clearSuspend, op.done
+	b.releaseHostOp(op)
+	b.dies[chip][die].Release()
+	if clear {
+		b.markSuspendable(chip, die, false)
+	}
+	if done != nil {
+		done(err)
+	}
+}

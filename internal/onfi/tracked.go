@@ -67,12 +67,47 @@ type busOp struct {
 	idx         int // slot in Bus.ops
 	readDone    func(bitErrors int, err error)
 	eraseDone   func(error)
+	next        *busOp // bus freelist link
 }
 
 func (b *Bus) nextQSeq() uint64 {
 	b.qseq++
 	return b.qseq
 }
+
+// newBusOp pops the bus's tracked-op freelist or grows it. Tracked ops are
+// recycled at completion (after removeOp, before the done callback), so
+// steady-state GC/scrub traffic allocates no descriptors.
+func (b *Bus) newBusOp() *busOp {
+	op := b.freeTracked
+	if op != nil {
+		b.freeTracked = op.next
+		op.next = nil
+		return op
+	}
+	return &busOp{}
+}
+
+func (b *Bus) releaseBusOp(op *busOp) {
+	*op = busOp{next: b.freeTracked}
+	b.freeTracked = op
+}
+
+// Top-level stage trampolines: AcquireArg/ScheduleArg call these with the
+// pooled op, so a phase transition allocates neither a closure nor a method
+// value.
+func busOpReadDieGranted(arg any)   { arg.(*busOp).readDieGranted() }
+func busOpReadWiresGranted(arg any) { arg.(*busOp).readWiresGranted() }
+func busOpReadCmdDone(arg any)      { arg.(*busOp).readCmdDone() }
+func busOpReadArrayDone(arg any)    { arg.(*busOp).readArrayDone() }
+func busOpReadXferGranted(arg any)  { arg.(*busOp).readXferGranted() }
+func busOpReadXferDone(arg any)     { arg.(*busOp).readXferDone() }
+func busOpEraseDieGranted(arg any)  { arg.(*busOp).eraseDieGranted() }
+func busOpEraseWiresGranted(arg any) {
+	arg.(*busOp).eraseWiresGranted()
+}
+func busOpEraseCmdDone(arg any)   { arg.(*busOp).eraseCmdDone() }
+func busOpEraseArrayDone(arg any) { arg.(*busOp).eraseArrayDone() }
 
 func (b *Bus) registerOp(op *busOp) {
 	op.idx = len(b.ops)
@@ -95,20 +130,21 @@ func (b *Bus) removeOp(op *busOp) {
 // completion callback when resuming a captured op.
 func (b *Bus) ReadTracked(chip int, addr nand.Addr, tag any, done func(bitErrors int, err error)) {
 	c := b.checkChip(chip)
-	op := &busOp{b: b, kind: OpRead, chip: chip, addr: addr, tag: tag, readDone: done}
+	op := b.newBusOp()
+	op.b, op.kind, op.chip, op.addr, op.tag, op.readDone = b, OpRead, chip, addr, tag, done
 	op.bits = c.BitErrors(addr)
 	b.registerOp(op)
 	op.phase = OpDieQueue
 	op.qseq = b.nextQSeq()
 	op.enq = b.eng.Now()
-	b.dies[chip][addr.Die].Acquire(op.readDieGranted)
+	b.dies[chip][addr.Die].AcquireArg(busOpReadDieGranted, op)
 }
 
 func (op *busOp) readDieGranted() {
 	op.phase = OpWireQueue1
 	op.qseq = op.b.nextQSeq()
 	op.enq = op.b.eng.Now()
-	op.b.wires.Acquire(op.readWiresGranted)
+	op.b.wires.AcquireArg(busOpReadWiresGranted, op)
 }
 
 func (op *busOp) readWiresGranted() {
@@ -122,7 +158,7 @@ func (op *busOp) readWiresGranted() {
 	dur += b.timing.CmdCycle
 	b.stats.CmdCycles++
 	op.phase = OpCmd
-	op.ev = b.eng.Schedule(dur, op.readCmdDone)
+	op.ev = b.eng.ScheduleArg(dur, busOpReadCmdDone, op)
 }
 
 func (op *busOp) readCmdDone() {
@@ -132,7 +168,7 @@ func (op *busOp) readCmdDone() {
 	}
 	b.wires.Release()
 	op.phase = OpArray
-	op.ev = b.eng.Schedule(b.timing.ReadPage, op.readArrayDone)
+	op.ev = b.eng.ScheduleArg(b.timing.ReadPage, busOpReadArrayDone, op)
 }
 
 func (op *busOp) readArrayDone() {
@@ -144,7 +180,7 @@ func (op *busOp) readArrayDone() {
 	op.phase = OpWireQueue2
 	op.qseq = b.nextQSeq()
 	op.enq = b.eng.Now()
-	b.wires.Acquire(op.readXferGranted)
+	b.wires.AcquireArg(busOpReadXferGranted, op)
 }
 
 func (op *busOp) readXferGranted() {
@@ -157,7 +193,7 @@ func (op *busOp) readXferGranted() {
 	b.stats.BytesOut += int64(n)
 	b.stats.Reads++
 	op.phase = OpXfer
-	op.ev = b.eng.Schedule(xfer, op.readXferDone)
+	op.ev = b.eng.ScheduleArg(xfer, busOpReadXferDone, op)
 }
 
 func (op *busOp) readXferDone() {
@@ -165,9 +201,10 @@ func (op *busOp) readXferDone() {
 	b.wires.Release()
 	b.dies[op.chip][op.addr.Die].Release()
 	b.removeOp(op)
-	op.ev = sim.Event{}
-	if op.readDone != nil {
-		op.readDone(op.bits, op.err)
+	done, bits, err := op.readDone, op.bits, op.err
+	b.releaseBusOp(op)
+	if done != nil {
+		done(bits, err)
 	}
 }
 
@@ -175,7 +212,9 @@ func (op *busOp) readXferDone() {
 // snapshot-visible lifecycle.
 func (b *Bus) EraseTracked(chip int, addr nand.Addr, background bool, tag any, done func(error)) {
 	b.checkChip(chip)
-	op := &busOp{b: b, kind: OpErase, chip: chip, addr: addr, suspendable: background, tag: tag, eraseDone: done}
+	op := b.newBusOp()
+	op.b, op.kind, op.chip, op.addr, op.tag, op.eraseDone = b, OpErase, chip, addr, tag, done
+	op.suspendable = background
 	if background {
 		b.markSuspendable(chip, addr.Die, true)
 	}
@@ -183,14 +222,14 @@ func (b *Bus) EraseTracked(chip int, addr nand.Addr, background bool, tag any, d
 	op.phase = OpDieQueue
 	op.qseq = b.nextQSeq()
 	op.enq = b.eng.Now()
-	b.dies[chip][addr.Die].Acquire(op.eraseDieGranted)
+	b.dies[chip][addr.Die].AcquireArg(busOpEraseDieGranted, op)
 }
 
 func (op *busOp) eraseDieGranted() {
 	op.phase = OpWireQueue1
 	op.qseq = op.b.nextQSeq()
 	op.enq = op.b.eng.Now()
-	op.b.wires.Acquire(op.eraseWiresGranted)
+	op.b.wires.AcquireArg(busOpEraseWiresGranted, op)
 }
 
 func (op *busOp) eraseWiresGranted() {
@@ -204,7 +243,7 @@ func (op *busOp) eraseWiresGranted() {
 	dur += b.timing.CmdCycle
 	b.stats.CmdCycles++
 	op.phase = OpCmd
-	op.ev = b.eng.Schedule(dur, op.eraseCmdDone)
+	op.ev = b.eng.ScheduleArg(dur, busOpEraseCmdDone, op)
 }
 
 func (op *busOp) eraseCmdDone() {
@@ -214,7 +253,7 @@ func (op *busOp) eraseCmdDone() {
 	}
 	b.wires.Release()
 	op.phase = OpArray
-	op.ev = b.eng.Schedule(b.timing.EraseBlock, op.eraseArrayDone)
+	op.ev = b.eng.ScheduleArg(b.timing.EraseBlock, busOpEraseArrayDone, op)
 }
 
 func (op *busOp) eraseArrayDone() {
@@ -230,9 +269,10 @@ func (op *busOp) eraseArrayDone() {
 		b.markSuspendable(op.chip, die, false)
 	}
 	b.removeOp(op)
-	op.ev = sim.Event{}
-	if op.eraseDone != nil {
-		op.eraseDone(op.err)
+	done, err := op.eraseDone, op.err
+	b.releaseBusOp(op)
+	if done != nil {
+		done(err)
 	}
 }
 
@@ -297,12 +337,11 @@ func (b *Bus) ResumeOp(st OpState, readDone func(bitErrors int, err error), eras
 	if st.Ch != b.id {
 		panic(fmt.Sprintf("onfi: ResumeOp for channel %d on bus %d", st.Ch, b.id))
 	}
-	op := &busOp{
-		b: b, kind: st.Kind, chip: st.Chip, addr: st.Addr, phase: st.Phase,
-		bits: st.Bits, err: st.Err, suspendable: st.Suspendable, qseq: st.QSeq,
-		enq: st.EnqueuedAt, tag: st.Tag,
-		readDone: readDone, eraseDone: eraseDone,
-	}
+	op := b.newBusOp()
+	op.b, op.kind, op.chip, op.addr, op.phase = b, st.Kind, st.Chip, st.Addr, st.Phase
+	op.bits, op.err, op.suspendable, op.qseq = st.Bits, st.Err, st.Suspendable, st.QSeq
+	op.enq, op.tag = st.EnqueuedAt, st.Tag
+	op.readDone, op.eraseDone = readDone, eraseDone
 	if st.QSeq > b.qseq {
 		b.qseq = st.QSeq
 	}
@@ -321,36 +360,36 @@ func (b *Bus) ResumeOp(st OpState, readDone func(bitErrors int, err error), eras
 		// original enqueue time, not from the restore instant.
 		switch {
 		case st.Phase == OpDieQueue && st.Kind == OpRead:
-			r.AcquireSince(st.EnqueuedAt, op.readDieGranted)
+			r.AcquireSinceArg(st.EnqueuedAt, busOpReadDieGranted, op)
 		case st.Phase == OpDieQueue:
-			r.AcquireSince(st.EnqueuedAt, op.eraseDieGranted)
+			r.AcquireSinceArg(st.EnqueuedAt, busOpEraseDieGranted, op)
 		case st.Phase == OpWireQueue1 && st.Kind == OpRead:
-			r.AcquireSince(st.EnqueuedAt, op.readWiresGranted)
+			r.AcquireSinceArg(st.EnqueuedAt, busOpReadWiresGranted, op)
 		case st.Phase == OpWireQueue1:
-			r.AcquireSince(st.EnqueuedAt, op.eraseWiresGranted)
+			r.AcquireSinceArg(st.EnqueuedAt, busOpEraseWiresGranted, op)
 		case st.Phase == OpWireQueue2 && st.Kind == OpRead:
-			r.AcquireSince(st.EnqueuedAt, op.readXferGranted)
+			r.AcquireSinceArg(st.EnqueuedAt, busOpReadXferGranted, op)
 		default:
 			panic("onfi: ResumeOp invalid queued phase")
 		}
 		return
 	}
-	var fire func()
+	var fire func(any)
 	switch {
 	case st.Phase == OpCmd && st.Kind == OpRead:
-		fire = op.readCmdDone
+		fire = busOpReadCmdDone
 	case st.Phase == OpCmd:
-		fire = op.eraseCmdDone
+		fire = busOpEraseCmdDone
 	case st.Phase == OpArray && st.Kind == OpRead:
-		fire = op.readArrayDone
+		fire = busOpReadArrayDone
 	case st.Phase == OpArray:
-		fire = op.eraseArrayDone
+		fire = busOpEraseArrayDone
 	case st.Phase == OpXfer && st.Kind == OpRead:
-		fire = op.readXferDone
+		fire = busOpReadXferDone
 	default:
 		panic("onfi: ResumeOp invalid event phase")
 	}
-	op.ev = b.eng.At(st.EventTime, fire)
+	op.ev = b.eng.AtArg(st.EventTime, fire, op)
 }
 
 // ResourceState is the utilization accounting of one sim.Resource at

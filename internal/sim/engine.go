@@ -33,9 +33,14 @@ const (
 // they are never returned to callers directly — Event handles carry a
 // generation so a stale handle to a recycled node is inert.
 type node struct {
-	time Time
-	seq  uint64
-	fn   func()
+	// The first eight fields fit one cache line: everything the heap's
+	// sift/compare loops and the plain-Schedule fire path touch. The
+	// closure-free callback form's fields (argFn/arg) spill onto the second
+	// line and are only read on the AtArg dispatch path.
+	time  Time
+	seq   uint64
+	fn    func()
+	index int32 // heap index; -1 when not queued
 	// gen increments every time the node leaves the queue (fire or cancel),
 	// invalidating all handles minted for the previous tenancy.
 	gen uint64
@@ -43,9 +48,15 @@ type node struct {
 	// so a handle can distinguish "canceled" from "fired" after release.
 	// Initialized to an impossible gen on fresh nodes.
 	canceledGen uint64
-	index       int32 // heap index; -1 when not queued
 	eng         *Engine
 	next        *node // freelist link
+	// argFn/arg are the closure-free callback form (AtArg): argFn is a
+	// top-level function and arg a pooled descriptor, so hot paths schedule
+	// continuations without materializing a fresh closure per event. Exactly
+	// one of fn and argFn is set while queued. Storing a pointer-shaped arg
+	// (pointer, func value) in the interface does not allocate.
+	argFn func(any)
+	arg   any
 }
 
 // Event is a cancelable handle to a scheduled callback, returned by
@@ -97,6 +108,10 @@ func (ev Event) Cancel() {
 	e := n.eng
 	e.remove(int(n.index))
 	n.canceledGen = n.gen
+	if n.argFn != nil {
+		n.argFn = nil
+		n.arg = nil
+	}
 	e.release(n)
 }
 
@@ -184,10 +199,48 @@ func (e *Engine) At(t Time, fn func()) Event {
 	return Event{n: n, gen: n.gen}
 }
 
+// ScheduleArg queues fn(arg) to run delay nanoseconds from now. It is the
+// closure-free twin of Schedule: fn is typically a top-level function and arg
+// a pooled descriptor, so steady-state request paths schedule continuations
+// without allocating a closure per event. Ordering is identical to Schedule —
+// both draw from the same seq counter, so interleaved Schedule/ScheduleArg
+// calls fire in submission order at equal times.
+func (e *Engine) ScheduleArg(delay Time, fn func(any), arg any) Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.AtArg(e.now+delay, fn, arg)
+}
+
+// AtArg queues fn(arg) to run at absolute simulated time t. See ScheduleArg.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d, before now=%d", t, e.now))
+	}
+	e.seq++
+	n := e.free
+	if n != nil {
+		e.free = n.next
+		n.next = nil
+	} else {
+		n = &node{eng: e, canceledGen: ^uint64(0)}
+	}
+	n.time = t
+	n.seq = e.seq
+	n.argFn = fn
+	n.arg = arg
+	e.push(n)
+	return Event{n: n, gen: n.gen}
+}
+
 // release recycles a node that left the queue: the generation bump makes
 // every outstanding handle inert, the callback reference is dropped so the
 // closure becomes collectable, and the node joins the freelist for the next
 // At.
+// release recycles a node. It touches only the node's first cache line:
+// argFn/arg are cleared by whoever ends an arg tenancy (Step's arg path,
+// Cancel), so plain-Schedule traffic — the dominant case — never reads or
+// writes the spill fields.
 func (e *Engine) release(n *node) {
 	n.gen++
 	n.fn = nil
@@ -208,12 +261,24 @@ func (e *Engine) Step() bool {
 	n := e.pq[0]
 	e.popHead()
 	e.now = n.time
-	fn := n.fn
+	// Branch on fn first so the dominant closure path never reads the
+	// second-cache-line argFn/arg fields.
+	if fn := n.fn; fn != nil {
+		e.release(n)
+		if e.hook != nil {
+			e.hook(e.now, len(e.pq))
+		}
+		fn()
+		return true
+	}
+	argFn, arg := n.argFn, n.arg
+	n.argFn = nil
+	n.arg = nil
 	e.release(n)
 	if e.hook != nil {
 		e.hook(e.now, len(e.pq))
 	}
-	fn()
+	argFn(arg)
 	return true
 }
 

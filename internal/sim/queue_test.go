@@ -216,6 +216,75 @@ func TestScheduleCancelChurnZeroAlloc(t *testing.T) {
 	}
 }
 
+// ScheduleArg is the closure-free scheduling form the pooled request
+// descriptors ride on: a top-level callback plus a pointer-shaped arg must
+// not allocate, even from a cold freelist for the interface conversion.
+func TestScheduleArgStepZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not stable under the race detector")
+	}
+	e := NewEngine()
+	type req struct{ n int }
+	r := &req{}
+	var tick func(any)
+	tick = func(arg any) {
+		arg.(*req).n++
+		e.ScheduleArg(100, tick, arg)
+	}
+	e.ScheduleArg(0, tick, r)
+	for i := 0; i < 64; i++ {
+		e.Step()
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { e.Step() }); allocs != 0 {
+		t.Fatalf("steady-state ScheduleArg+Step allocates %.1f objects/op, want 0", allocs)
+	}
+	if r.n < 1000 {
+		t.Fatalf("callback ran %d times, want >= 1000", r.n)
+	}
+}
+
+// ScheduleArg shares Schedule's seq counter: same-instant events fire in
+// submission order regardless of which entry point queued them.
+func TestScheduleArgOrderingMatchesSchedule(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	push := func(arg any) { got = append(got, arg.(int)) }
+	e.Schedule(10, func() { got = append(got, 0) })
+	e.ScheduleArg(10, push, 1)
+	e.Schedule(10, func() { got = append(got, 2) })
+	e.ScheduleArg(10, push, 3)
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("firing order %v, want 0..3 in submission order", got)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("fired %d events, want 4", len(got))
+	}
+}
+
+// An AtArg event must be cancelable exactly like an At event, and the
+// recycled node must not leak the arg callback into the next tenancy.
+func TestScheduleArgCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.ScheduleArg(Second, func(any) { fired = true }, 7)
+	ev.Cancel()
+	if !ev.Canceled() {
+		t.Fatal("canceled ScheduleArg event does not report Canceled")
+	}
+	ran := false
+	e.Schedule(Second, func() { ran = true }) // reuses the freed node
+	e.Run()
+	if fired {
+		t.Fatal("canceled ScheduleArg callback fired")
+	}
+	if !ran {
+		t.Fatal("follow-up event on the recycled node did not fire")
+	}
+}
+
 // --- RunUntil with eager cancellation -------------------------------------
 
 // Pin the behavior the simplified RunUntil relies on: Cancel removes events

@@ -27,8 +27,11 @@ type Resource struct {
 
 // waiter is one queued acquisition: the grant callback plus the time it
 // joined the queue, so the grant can charge the wait to contention accounting.
+// Exactly one of fn and argFn is set (see AcquireArg).
 type waiter struct {
 	fn    func()
+	argFn func(any)
+	arg   any
 	since Time
 }
 
@@ -79,6 +82,26 @@ func (r *Resource) AcquireSince(since Time, fn func()) {
 	r.waiters = append(r.waiters, waiter{fn: fn, since: since})
 }
 
+// AcquireArg is the closure-free twin of Acquire (see Engine.ScheduleArg):
+// fn(arg) runs as soon as the resource is free, with fn typically a top-level
+// function and arg a pooled operation descriptor. Grant order interleaves
+// FIFO with Acquire callers.
+func (r *Resource) AcquireArg(fn func(any), arg any) {
+	r.AcquireSinceArg(r.eng.Now(), fn, arg)
+}
+
+// AcquireSinceArg is AcquireArg with an explicit queue-entry time for wait
+// accounting (see AcquireSince).
+func (r *Resource) AcquireSinceArg(since Time, fn func(any), arg any) {
+	if !r.busy && r.head == len(r.waiters) {
+		r.busy = true
+		r.BusySince = r.eng.Now()
+		fn(arg)
+		return
+	}
+	r.waiters = append(r.waiters, waiter{argFn: fn, arg: arg, since: since})
+}
+
 // Release frees the resource and grants it to the next waiter, if any.
 // Panics if the resource is not held: that is always a model bug.
 //
@@ -109,7 +132,11 @@ func (r *Resource) Release() {
 		r.BusySince = r.eng.Now()
 		r.waitTotal += r.eng.Now() - next.since
 		r.waits++
-		next.fn()
+		if next.argFn != nil {
+			next.argFn(next.arg)
+		} else {
+			next.fn()
+		}
 	}
 	r.granting = false
 }

@@ -64,7 +64,10 @@ type Device struct {
 	prof  *obs.Profiler // latency attribution; nil when tracing is off
 
 	sectorSize int
-	content    map[int64][]byte // sector payloads when StoreContent
+	content    *cow.Array[byte] // byte-addressed payload store when StoreContent
+
+	// reqFree recycles ioReq descriptors (see pooled.go).
+	reqFree *ioReq
 
 	hostBytesWritten int64
 	hostBytesRead    int64
@@ -78,6 +81,11 @@ type Device struct {
 	trackOutstanding bool
 	outstanding      int
 }
+
+// contentChunkSectors is the payload store's chunk length in sectors (64 KiB
+// at the default 4 KiB sector): fine enough that a clone's dirty set tracks
+// what it actually rewrote, coarse enough to keep chunk bookkeeping small.
+const contentChunkSectors = 16
 
 // maxOutstandingFlushes bounds FLUSH commands concurrently outstanding at
 // the device — the submission-queue analogue of the read/write validation
@@ -123,7 +131,12 @@ func NewDevice(eng *sim.Engine, cfg Config) *Device {
 		sectorSize: fcfg.SectorSize,
 	}
 	if cfg.StoreContent {
-		d.content = make(map[int64][]byte)
+		// Chunked copy-on-write payload store: sectors the host never wrote
+		// read back as zeros (implicit-fill chunks cost nothing), and
+		// snapshot/clone is O(dirty chunks) instead of O(written bytes).
+		// The chunk length is a multiple of the sector size so every
+		// sector-aligned write lands inside one chunk.
+		d.content = cow.NewArray[byte](d.Size(), contentChunkSectors*int64(d.sectorSize), 1, 0)
 	}
 	cfg.Trace.SetTimelineSampler(d.sampleTimeline)
 	return d
@@ -165,51 +178,11 @@ func (d *Device) SampleTimeline(s *obs.TimelineSample) { d.sampleTimeline(s) }
 // above the device (hostif) can annotate the same trace stream.
 func (d *Device) Tracer() *obs.Tracer { return d.tr }
 
-// traceRequest opens a request-lifecycle span plus a latency-attribution
-// record and returns a completion callback that ends both before running
-// done. The attribution record is adopted from the host interface's hand-off
-// slot when one is parked there (so host-queue time is preserved), otherwise
-// begun fresh in the dispatch phase — experiments that drive the device
-// directly still get full decomposition. With tracing off it returns done
-// unchanged and inert handles — the hot path pays one Enabled check.
-func (d *Device) traceRequest(name string, off, length int64, done func()) (obs.Span, *obs.ReqAttr, func()) {
-	if !d.tr.Enabled() {
-		return obs.Span{}, nil, done
-	}
-	attr := d.prof.TakeHandoff()
-	if attr == nil {
-		attr = d.prof.BeginReq(obs.PhaseDispatch)
-	} else {
-		attr.Mark(obs.PhaseDispatch)
-	}
-	sp := d.tr.Begin(name, obs.Int("off", off), obs.Int("len", length))
-	return sp, attr, func() {
-		attr.End()
-		sp.End()
-		if done != nil {
-			done()
-		}
-	}
-}
-
 // TrackCompletions enables outstanding-request accounting: every accepted
 // async submission counts as outstanding until its done callback fires.
 // Must be enabled before the first submission (counts would otherwise go
 // negative); the fleet enables it at drive attach.
 func (d *Device) TrackCompletions() { d.trackOutstanding = true }
-
-// trackDone wraps a done callback with the outstanding decrement. Called
-// only on accepted submissions, after validation, so rejected commands never
-// count.
-func (d *Device) trackDone(done func()) func() {
-	d.outstanding++
-	return func() {
-		d.outstanding--
-		if done != nil {
-			done()
-		}
-	}
-}
 
 // CompletionFloor returns a conservative lower bound, in this device's
 // engine time, on when the device can next invoke a host-visible completion
@@ -285,32 +258,15 @@ func (d *Device) WriteAsync(off int64, data []byte, length int64, done func()) e
 		return err
 	}
 	if d.content != nil && data != nil {
-		for i := int64(0); i < length; i += int64(d.sectorSize) {
-			sec := (off + i) / int64(d.sectorSize)
-			buf, ok := d.content[sec]
-			if !ok {
-				buf = make([]byte, d.sectorSize)
-				d.content[sec] = buf
-			}
-			copy(buf, data[i:i+int64(d.sectorSize)])
+		ss := int64(d.sectorSize)
+		for i := int64(0); i < length; i += ss {
+			copy(d.content.MutSpan(off+i, off+i+ss), data[i:i+ss])
 		}
 	}
 	d.hostBytesWritten += length
-	if d.trackOutstanding {
-		done = d.trackDone(done)
-	}
 	lsn := off / int64(d.sectorSize)
 	count := int(length / int64(d.sectorSize))
-	sp, attr, complete := d.traceRequest("ssd.write", off, length, done)
-	d.eng.Schedule(d.cfg.HostOverhead, func() {
-		sp.Event("ftl.dispatch")
-		d.prof.SetCur(attr)
-		err := d.fl.Write(lsn, count, complete)
-		d.prof.SetCur(nil)
-		if err != nil {
-			panic(err) // range was validated above; this is a model bug
-		}
-	})
+	d.submitIO(ioWrite, "ssd.write", off, length, lsn, count, done)
 	return nil
 }
 
@@ -324,31 +280,12 @@ func (d *Device) ReadAsync(off int64, buf []byte, length int64, done func()) err
 		return err
 	}
 	if d.content != nil && buf != nil {
-		for i := int64(0); i < length; i += int64(d.sectorSize) {
-			sec := (off + i) / int64(d.sectorSize)
-			if s, ok := d.content[sec]; ok {
-				copy(buf[i:i+int64(d.sectorSize)], s)
-			} else {
-				clear(buf[i : i+int64(d.sectorSize)])
-			}
-		}
+		d.content.CopyOut(off, off+length, buf[:length])
 	}
 	d.hostBytesRead += length
-	if d.trackOutstanding {
-		done = d.trackDone(done)
-	}
 	lsn := off / int64(d.sectorSize)
 	count := int(length / int64(d.sectorSize))
-	sp, attr, complete := d.traceRequest("ssd.read", off, length, done)
-	d.eng.Schedule(d.cfg.HostOverhead, func() {
-		sp.Event("ftl.dispatch")
-		d.prof.SetCur(attr)
-		err := d.fl.Read(lsn, count, complete)
-		d.prof.SetCur(nil)
-		if err != nil {
-			panic(err)
-		}
-	})
+	d.submitIO(ioRead, "ssd.read", off, length, lsn, count, done)
 	return nil
 }
 
@@ -358,25 +295,11 @@ func (d *Device) TrimAsync(off, length int64, done func()) error {
 		return err
 	}
 	if d.content != nil {
-		for i := int64(0); i < length; i += int64(d.sectorSize) {
-			delete(d.content, (off+i)/int64(d.sectorSize))
-		}
-	}
-	if d.trackOutstanding {
-		done = d.trackDone(done)
+		d.content.FillRange(off, off+length)
 	}
 	lsn := off / int64(d.sectorSize)
 	count := int(length / int64(d.sectorSize))
-	sp, _, complete := d.traceRequest("ssd.trim", off, length, done)
-	d.eng.Schedule(d.cfg.HostOverhead, func() {
-		sp.Event("ftl.dispatch")
-		if err := d.fl.Trim(lsn, count); err != nil {
-			panic(err)
-		}
-		if complete != nil {
-			complete()
-		}
-	})
+	d.submitIO(ioTrim, "ssd.trim", off, length, lsn, count, done)
 	return nil
 }
 
@@ -390,20 +313,7 @@ func (d *Device) FlushAsync(done func()) error {
 		return ErrFlushBacklog
 	}
 	d.inflightFlushes++
-	if d.trackOutstanding {
-		done = d.trackDone(done)
-	}
-	sp, attr, complete := d.traceRequest("ssd.flush", 0, 0, done)
-	d.eng.Schedule(d.cfg.HostOverhead, func() {
-		sp.Event("ftl.dispatch")
-		attr.Mark(obs.PhaseCacheStall) // a flush *is* cache-drain stall time
-		d.fl.Flush(func() {
-			d.inflightFlushes--
-			if complete != nil {
-				complete()
-			}
-		})
-	})
+	d.submitIO(ioFlush, "ssd.flush", 0, 0, 0, 0, done)
 	return nil
 }
 
@@ -502,6 +412,9 @@ func (d *Device) MemStats() cow.Stats {
 		}
 	}
 	st.Add(d.fl.MemStats())
+	if d.content != nil {
+		st.Add(d.content.Stats())
+	}
 	return st
 }
 
@@ -515,6 +428,9 @@ func (d *Device) VisitSharedChunks(f func(id any, bytes int64)) {
 		}
 	}
 	d.fl.VisitSharedChunks(f)
+	if d.content != nil {
+		d.content.VisitShared(f)
+	}
 }
 
 func (d *Device) NANDPageTicks() int64 {

@@ -3,6 +3,7 @@ package ssd
 import (
 	"fmt"
 
+	"ssdtp/internal/cow"
 	"ssdtp/internal/ftl"
 	"ssdtp/internal/nand"
 	"ssdtp/internal/onfi"
@@ -27,7 +28,7 @@ type DeviceState struct {
 	buses []*onfi.BusState
 	chips [][]*nand.ChipState
 
-	content          map[int64][]byte // nil unless StoreContent
+	content          *cow.Image[byte] // nil unless StoreContent
 	hostBytesWritten int64
 	hostBytesRead    int64
 }
@@ -63,10 +64,8 @@ func (d *Device) Snapshot() *DeviceState {
 		}
 	}
 	if d.content != nil {
-		st.content = make(map[int64][]byte, len(d.content))
-		for k, v := range d.content {
-			st.content[k] = append([]byte(nil), v...)
-		}
+		img := d.content.Snapshot()
+		st.content = &img
 	}
 	return st
 }
@@ -97,9 +96,6 @@ func (d *Device) Restore(st *DeviceState) {
 	d.hostBytesWritten = st.hostBytesWritten
 	d.hostBytesRead = st.hostBytesRead
 	if st.content != nil {
-		clear(d.content)
-		for k, v := range st.content {
-			d.content[k] = append([]byte(nil), v...)
-		}
+		d.content.Restore(*st.content)
 	}
 }

@@ -166,6 +166,88 @@ type generator struct {
 	doneSignal   func()
 	timelineUnit sim.Time
 	runStart     sim.Time
+
+	// Prebuilt continuations (built once in init) and the pooled per-request
+	// descriptor freelist: the steady-state issue/complete loop reuses these
+	// instead of allocating a closure per request (DESIGN.md §13).
+	reqFree   *wreq
+	pumpTail  func() // closed-loop completion tail (sync bookkeeping + pump)
+	openTail  func() // open-loop completion tail (drain check)
+	flushCont func() // post-flush resume
+	tickFn    func() // openLoopTick, for Schedule re-arm
+}
+
+// wreq is one in-flight generated request. fire is built at pool growth and
+// recycles the descriptor before running the continuation.
+type wreq struct {
+	g      *generator
+	start  sim.Time
+	n      int64
+	isRead bool
+	then   func()
+	fire   func()
+	next   *wreq
+}
+
+func (g *generator) newReq(start sim.Time, n int64, isRead bool, then func()) *wreq {
+	r := g.reqFree
+	if r == nil {
+		r = &wreq{g: g}
+		r.fire = func() {
+			g := r.g
+			g.inflight--
+			g.res.Requests++
+			now := g.dev.Engine().Now()
+			g.res.Latency.Record(now - r.start)
+			g.markTimeline(now)
+			if r.isRead {
+				g.res.BytesRead += r.n
+			} else {
+				g.res.BytesWritten += r.n
+			}
+			then := r.then
+			r.then = nil
+			r.next = g.reqFree
+			g.reqFree = r
+			if then != nil {
+				then()
+			}
+		}
+	} else {
+		g.reqFree = r.next
+		r.next = nil
+	}
+	r.start = start
+	r.n = n
+	r.isRead = isRead
+	r.then = then
+	return r
+}
+
+// init builds the generator's shared continuations.
+func (g *generator) init() {
+	eng := g.dev.Engine()
+	g.pumpTail = func() {
+		if g.spec.SyncEvery > 0 {
+			g.sinceSync++
+			if g.sinceSync >= g.spec.SyncEvery {
+				g.sinceSync = 0
+				if err := g.dev.FlushAsync(g.flushCont); err != nil {
+					panic(fmt.Sprintf("workload %s: flush: %v", g.spec.Name, err))
+				}
+				return
+			}
+		}
+		g.pump()
+	}
+	g.openTail = func() {
+		if g.inflight == 0 &&
+			(eng.Now() >= g.deadline || (g.maxReqs > 0 && g.issued >= g.maxReqs)) {
+			g.signalDone()
+		}
+	}
+	g.flushCont = g.pump
+	g.tickFn = g.openLoopTick
 }
 
 func (g *generator) sectionBounds() (off, length int64) {
@@ -242,14 +324,9 @@ func (g *generator) openLoopTick() {
 		if g.maxReqs > 0 && g.issued >= g.maxReqs {
 			break
 		}
-		g.issueOne(func() {
-			if g.inflight == 0 &&
-				(eng.Now() >= g.deadline || (g.maxReqs > 0 && g.issued >= g.maxReqs)) {
-				g.signalDone()
-			}
-		})
+		g.issueOne(g.openTail)
 	}
-	eng.Schedule(g.spec.Interval*sim.Time(burst), g.openLoopTick)
+	eng.Schedule(g.spec.Interval*sim.Time(burst), g.tickFn)
 }
 
 // markTimeline buckets one completion into the result timeline.
@@ -278,29 +355,15 @@ func (g *generator) issueOne(then func()) {
 	eng := g.dev.Engine()
 	off := g.nextOffset()
 	isRead := g.spec.ReadFrac > 0 && g.rng.Float64() < g.spec.ReadFrac
-	start := eng.Now()
 	n := int64(g.spec.RequestBytes)
 	g.inflight++
 	g.issued++
-	complete := func() {
-		g.inflight--
-		g.res.Requests++
-		g.res.Latency.Record(eng.Now() - start)
-		g.markTimeline(eng.Now())
-		if isRead {
-			g.res.BytesRead += n
-		} else {
-			g.res.BytesWritten += n
-		}
-		if then != nil {
-			then()
-		}
-	}
+	r := g.newReq(eng.Now(), n, isRead, then)
 	var err error
 	if isRead {
-		err = g.dev.ReadAsync(off, nil, n, complete)
+		err = g.dev.ReadAsync(off, nil, n, r.fire)
 	} else {
-		err = g.dev.WriteAsync(off, nil, n, complete)
+		err = g.dev.WriteAsync(off, nil, n, r.fire)
 	}
 	if err != nil {
 		panic(fmt.Sprintf("workload %s: %v", g.spec.Name, err))
@@ -317,43 +380,7 @@ func (g *generator) pump() {
 			}
 			return
 		}
-		off := g.nextOffset()
-		isRead := g.spec.ReadFrac > 0 && g.rng.Float64() < g.spec.ReadFrac
-		start := eng.Now()
-		n := int64(g.spec.RequestBytes)
-		g.inflight++
-		g.issued++
-		complete := func() {
-			g.inflight--
-			g.res.Requests++
-			g.res.Latency.Record(eng.Now() - start)
-			g.markTimeline(eng.Now())
-			if isRead {
-				g.res.BytesRead += n
-			} else {
-				g.res.BytesWritten += n
-			}
-			if g.spec.SyncEvery > 0 {
-				g.sinceSync++
-				if g.sinceSync >= g.spec.SyncEvery {
-					g.sinceSync = 0
-					if err := g.dev.FlushAsync(func() { g.pump() }); err != nil {
-						panic(fmt.Sprintf("workload %s: flush: %v", g.spec.Name, err))
-					}
-					return
-				}
-			}
-			g.pump()
-		}
-		var err error
-		if isRead {
-			err = g.dev.ReadAsync(off, nil, n, complete)
-		} else {
-			err = g.dev.WriteAsync(off, nil, n, complete)
-		}
-		if err != nil {
-			panic(fmt.Sprintf("workload %s: %v", g.spec.Name, err))
-		}
+		g.issueOne(g.pumpTail)
 	}
 }
 
@@ -419,6 +446,13 @@ func RunMulti(targets []Target, specs []Spec, opt Options) []Result {
 			panic("workload: RequestBytes must be positive")
 		}
 		results[i] = Result{Name: spec.Name, Latency: stats.NewLatencyRecorder()}
+		if opt.TimelineInterval > 0 && opt.Duration > 0 {
+			// Pre-size the timeline to the run's bucket count so steady-state
+			// completion marking never grows the slice (a trailing bucket
+			// catches completions that drain past the deadline).
+			buckets := int(opt.Duration/opt.TimelineInterval) + 2
+			results[i].Timeline = make([]int64, 0, buckets)
+		}
 		g := &generator{
 			spec:         spec,
 			dev:          targets[i],
@@ -432,6 +466,7 @@ func RunMulti(targets []Target, specs []Spec, opt Options) []Result {
 				remaining--
 			},
 		}
+		g.init()
 		g.start()
 	}
 	eng.RunWhile(func() bool { return remaining > 0 })

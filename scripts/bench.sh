@@ -5,9 +5,10 @@
 # Two groups run with different benchtimes:
 #   * figure/table benchmarks (package .): each iteration is one full
 #     experiment, so -benchtime 1x keeps the run bounded;
-#   * scheduler/stats/observability/nand microbenchmarks (internal/sim,
-#     internal/stats, internal/obs, internal/nand): nanosecond-scale
-#     operations that need wall-clock benchtime to settle.
+#   * scheduler/stats/observability/nand/request-path microbenchmarks
+#     (internal/sim, internal/stats, internal/obs, internal/nand,
+#     internal/ssd): nanosecond-scale operations that need wall-clock
+#     benchtime to settle.
 #
 # Usage: scripts/bench.sh [output.json]
 # Env:   BENCHTIME  figure/table benchtime   (default 1x)
@@ -24,9 +25,9 @@ trap 'rm -f "$TMP"' EXIT
 
 echo ">> figure/table benchmarks (-benchtime $BENCHTIME)" >&2
 go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" . | tee -a "$TMP" >&2
-echo ">> scheduler/stats/observability/nand microbenchmarks (-benchtime $MICROTIME)" >&2
+echo ">> scheduler/stats/observability/nand/request-path microbenchmarks (-benchtime $MICROTIME)" >&2
 go test -run '^$' -bench . -benchmem -benchtime "$MICROTIME" \
-	./internal/sim/ ./internal/stats/ ./internal/obs/ ./internal/nand/ | tee -a "$TMP" >&2
+	./internal/sim/ ./internal/stats/ ./internal/obs/ ./internal/nand/ ./internal/ssd/ | tee -a "$TMP" >&2
 
 GOVER="$(go env GOVERSION)"
 CPU="$(awk -F': ' '/^cpu:/ {print $2; exit}' "$TMP")"
