@@ -12,11 +12,11 @@ vet:
 	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
 
 bench:
-	scripts/bench.sh BENCH_9.json
+	scripts/bench.sh BENCH_10.json
 
 # Gate the scheduler/stats hot paths against the previous committed baseline.
 bench-diff:
-	$(GO) run ./cmd/benchdiff -filter 'BenchmarkEngine|BenchmarkRecorder' BENCH_8.json BENCH_9.json
+	$(GO) run ./cmd/benchdiff -filter 'BenchmarkEngine|BenchmarkRecorder' BENCH_9.json BENCH_10.json
 
 # CPU and allocation profiles of the Fig1 aging benchmark — where the
 # request path spends its time and what still allocates. Open with
@@ -32,7 +32,7 @@ profile:
 determinism:
 	for p in 1 2 8; do \
 		GOMAXPROCS=$$p $(GO) test ./internal/experiments/ ./internal/fleet/ \
-			-run 'TestShardByteIdenticalAcrossWorkers|TestParallelOutputByteIdentical|TestTraceByteIdenticalAcrossWorkers|TestParallel' \
+			-run 'TestShardByteIdenticalAcrossWorkers|TestParallelOutputByteIdentical|TestTraceByteIdenticalAcrossWorkers|TestTelemetryByteIdenticalAcrossWorkers|TestParallel' \
 			-count=1 || exit 1; \
 	done
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"ssdtp/internal/cow"
@@ -13,6 +14,7 @@ import (
 	"ssdtp/internal/runner"
 	"ssdtp/internal/sim"
 	"ssdtp/internal/ssd"
+	"ssdtp/internal/telemetry"
 	"ssdtp/internal/workload"
 )
 
@@ -66,6 +68,43 @@ func BenchmarkFig3Attribution(b *testing.B) {
 		res := experiments.Fig3TailLatency(experiments.Quick, int64(i)+1)
 		experiments.SetObserver(nil)
 		b.ReportMetric(res.P99Spread(), "p99-spread")
+	}
+}
+
+// BenchmarkFig3Telemetry regenerates fig3 with the transparency log-page
+// stream live on top of the full observability stack: every cell samples its
+// device page on 1 ms simulated-clock boundaries. The ns/op delta against
+// BenchmarkFig3Attribution is the telemetry cost alone; against
+// BenchmarkFig3TailLatency it is the whole disclosed-observability price.
+func BenchmarkFig3Telemetry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		col := obs.NewCollector()
+		col.SetTimeline(10 * sim.Millisecond)
+		experiments.SetObserver(col)
+		ts := telemetry.NewSet(sim.Millisecond)
+		experiments.SetTelemetry(ts)
+		res := experiments.Fig3TailLatency(experiments.Quick, int64(i)+1)
+		experiments.SetTelemetry(nil)
+		experiments.SetObserver(nil)
+		rows := 0
+		var sb strings.Builder
+		if err := ts.WriteJSONL(&sb); err == nil {
+			rows = strings.Count(sb.String(), "\n")
+		}
+		b.ReportMetric(res.P99Spread(), "p99-spread")
+		b.ReportMetric(float64(rows), "log-pages")
+	}
+}
+
+// BenchmarkTransparency regenerates the headline transparency experiment and
+// reports both forecaster scores: next-window GC-cliff F1 from the disclosed
+// log page vs from SMART counters alone.
+func BenchmarkTransparency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Transparency(experiments.Quick, int64(i)+1)
+		tel, smart := res.MeanF1()
+		b.ReportMetric(tel, "telemetry-F1")
+		b.ReportMetric(smart, "smart-F1")
 	}
 }
 

@@ -11,13 +11,17 @@
 // JSONL span stream, with -trace-perfetto FILE a Chrome trace-event JSON
 // document loadable in Perfetto/chrome://tracing, with -timeline FILE a
 // time-windowed telemetry CSV (sampled every -timeline-ms of simulated
-// time), and with -metrics FILE a Prometheus-style text dump of per-cell
-// counters. All are timestamped with the simulated clock and ordered by cell
-// label, so they too are byte-identical for any -parallel value.
+// time), with -telemetry FILE a JSONL stream of transparency log pages
+// (the host-visible disclosure interface of DESIGN.md §14, sampled every
+// -telemetry-ms), and with -metrics FILE a Prometheus-style text dump of
+// per-cell counters. All are timestamped with the simulated clock and
+// ordered by cell label, so they too are byte-identical for any -parallel
+// value.
 //
 // -http ADDR serves a live ops endpoint while the run is in flight:
-// net/http/pprof and expvar, a /metrics snapshot of completed cells, and a
-// /progress JSON view with cells/sec throughput and ETA.
+// net/http/pprof and expvar, a /metrics snapshot of completed cells, a
+// /progress JSON view with cells/sec throughput and ETA, and a /telemetry
+// JSONL view of completed cells' transparency log pages.
 //
 // Expensive preconditioning (the fig3-family steady-state prefill, the aged
 // file systems of fig1/tabS7) is built once per distinct image and cloned
@@ -34,12 +38,13 @@
 //
 // Usage:
 //
-//	reproduce [-run fig1,fig2,fig3,fig4a,fig4b,fig5,fig6,fleet|all] [-full] [-seed N] [-parallel N] [-shard N] [-quiet] [-trace FILE] [-trace-perfetto FILE] [-trace-cap N] [-timeline FILE] [-timeline-ms N] [-metrics FILE] [-http ADDR] [-snapshot-cache=false]
+//	reproduce [-run fig1,fig2,fig3,fig4a,fig4b,fig5,fig6,fleet,transparency|all] [-full] [-seed N] [-parallel N] [-shard N] [-quiet] [-trace FILE] [-trace-perfetto FILE] [-trace-cap N] [-timeline FILE] [-timeline-ms N] [-telemetry FILE] [-telemetry-ms N] [-metrics FILE] [-http ADDR] [-snapshot-cache=false]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -51,10 +56,11 @@ import (
 	"ssdtp/internal/obs"
 	"ssdtp/internal/runner"
 	"ssdtp/internal/sim"
+	"ssdtp/internal/telemetry"
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (fig1,fig2,fig3,fig4a,fig4b,fig5,fig6,fleet,tabS2,tabS3,tabS4,tabS5,tabS6,tabS7,tabS8)")
+	run := flag.String("run", "all", "comma-separated experiment ids (fig1,fig2,fig3,fig4a,fig4b,fig5,fig6,fleet,transparency,tabS2,tabS3,tabS4,tabS5,tabS6,tabS7,tabS8)")
 	full := flag.Bool("full", false, "full scale (slower, tighter statistics)")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	csvDir := flag.String("csv", "", "also write plottable CSV series into this directory")
@@ -66,6 +72,8 @@ func main() {
 	traceCap := flag.Int("trace-cap", 0, "per-cell trace record cap (0 = default 1<<20; negative = unbounded); drops are counted in ssdtp_trace_dropped_spans_total")
 	timelineFile := flag.String("timeline", "", "write a time-windowed telemetry CSV to this file")
 	timelineMS := flag.Int64("timeline-ms", 10, "timeline sampling interval in simulated milliseconds")
+	telemetryFile := flag.String("telemetry", "", "write a JSONL stream of transparency log pages to this file")
+	telemetryMS := flag.Int64("telemetry-ms", 1, "log-page sampling interval in simulated milliseconds")
 	metricsFile := flag.String("metrics", "", "write a Prometheus-style text dump of per-cell metrics to this file")
 	httpAddr := flag.String("http", "", "serve a live ops endpoint (pprof, expvar, /metrics, /progress) on this address, e.g. :6060")
 	snapCache := flag.Bool("snapshot-cache", true, "build each distinct preconditioned drive/file-system image once and clone it per cell (results are identical either way)")
@@ -77,6 +85,7 @@ func main() {
 	traceOut := cliutil.MustOpen("trace", *traceFile)
 	perfettoOut := cliutil.MustOpen("trace-perfetto", *perfettoFile)
 	timelineOut := cliutil.MustOpen("timeline", *timelineFile)
+	telemetryOut := cliutil.MustOpen("telemetry", *telemetryFile)
 	metricsOut := cliutil.MustOpen("metrics", *metricsFile)
 	if err := cliutil.Dir("csv", *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -103,7 +112,7 @@ func main() {
 	experiments.SetPool(&runner.Pool{Workers: *parallel, Progress: progress})
 
 	var col *obs.Collector
-	if traceOut.Enabled() || perfettoOut.Enabled() || timelineOut.Enabled() || metricsOut.Enabled() || *httpAddr != "" {
+	if traceOut.Enabled() || perfettoOut.Enabled() || timelineOut.Enabled() || telemetryOut.Enabled() || metricsOut.Enabled() || *httpAddr != "" {
 		col = obs.NewCollector()
 		if *traceCap != 0 {
 			col.SetRecordCap(*traceCap)
@@ -112,6 +121,13 @@ func main() {
 			col.SetTimeline(sim.Time(*timelineMS) * sim.Millisecond)
 		}
 		experiments.SetObserver(col)
+	}
+	// The telemetry set needs the collector: log-page sampling rides each
+	// cell tracer's aux window, so cells must be traced for streams to exist.
+	var ts *telemetry.Set
+	if telemetryOut.Enabled() || *httpAddr != "" {
+		ts = telemetry.NewSet(sim.Time(*telemetryMS) * sim.Millisecond)
+		experiments.SetTelemetry(ts)
 	}
 	if *httpAddr != "" {
 		// /progress reports run progress plus, once a fleet cell has
@@ -127,7 +143,9 @@ func main() {
 				}{s, mem.Policy, mem.Report}
 			}
 			return s
-		})
+		}, obs.View{Path: "/telemetry", Write: func(w io.Writer) error {
+			return ts.WriteJSONLDone(w)
+		}})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -149,6 +167,7 @@ func main() {
 		writeObs(traceOut, func(f *os.File) error { return col.WriteJSONL(f) })
 		writeObs(perfettoOut, func(f *os.File) error { return col.WritePerfetto(f) })
 		writeObs(timelineOut, func(f *os.File) error { return col.WriteTimelineCSV(f) })
+		writeObs(telemetryOut, func(f *os.File) error { return ts.WriteJSONL(f) })
 		writeObs(metricsOut, func(f *os.File) error { return col.WriteMetrics(f) })
 	}
 
@@ -246,6 +265,7 @@ func main() {
 	if section("fleet", "fleet scale: per-tenant tails and GC blast radius by placement") {
 		fl := experiments.FleetTail(scale, *seed)
 		fmt.Print(fl.Table())
+		fmt.Print(fl.TelemetryLines())
 		fmt.Print(fl.MemLines())
 		writeCSV("fleet_tenants.csv",
 			"policy,tenant,drives,shared_drives,requests,p50_ns,p99_ns,p999_ns,tail_gc_share_ppm,blast_radius_ppm",
@@ -255,6 +275,20 @@ func main() {
 					fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d\n",
 						ft.Policy, r.Tenant, r.Drives, r.SharedDrives, r.Requests,
 						r.P50, r.P99, r.P999, r.TailGCSharePPM, r.BlastPPM)
+				}
+			})
+	}
+	if section("transparency", "host-side forecasting from the disclosed telemetry log page") {
+		tp := experiments.Transparency(scale, *seed)
+		fmt.Print(tp.Table())
+		writeCSV("transparency_scores.csv",
+			"config,windows,cliffs,telemetry_tp,telemetry_fp,telemetry_fn,smart_tp,smart_fp,smart_fn",
+			func(w *os.File) {
+				for _, r := range tp.Rows {
+					fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d\n",
+						r.Config, r.Windows, r.Cliffs,
+						r.Telemetry.TP, r.Telemetry.FP, r.Telemetry.FN,
+						r.SMART.TP, r.SMART.FP, r.SMART.FN)
 				}
 			})
 	}

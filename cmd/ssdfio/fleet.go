@@ -12,6 +12,7 @@ import (
 	"ssdtp/internal/sim"
 	"ssdtp/internal/ssd"
 	"ssdtp/internal/stats"
+	"ssdtp/internal/telemetry"
 	"ssdtp/internal/workload"
 )
 
@@ -42,9 +43,10 @@ type fleetOpts struct {
 	ms         int64
 	prefill    bool
 
-	col                                            *obs.Collector
-	traceOut, perfettoOut, timelineOut, metricsOut *cliutil.Out
-	showSMART                                      bool
+	col                                                          *obs.Collector
+	ts                                                           *telemetry.Set
+	traceOut, perfettoOut, timelineOut, telemetryOut, metricsOut *cliutil.Out
+	showSMART                                                    bool
 }
 
 // runFleet is ssdfio's -fleet mode: N identical-model drives behind a
@@ -134,6 +136,9 @@ func runFleet(cfg ssd.Config, o fleetOpts) {
 	f.SetParallel(o.shard)
 	if tr != nil {
 		f.BindObs(tr)
+		// Tier-level log-page stream, summed across drives on host-clock
+		// boundaries (needs the bound tracer's engine hook).
+		f.AttachTelemetry(o.ts.Cell(label))
 	}
 
 	groups := make([][]int, o.tenants)
@@ -201,9 +206,11 @@ func runFleet(cfg ssd.Config, o fleetOpts) {
 	if tr != nil {
 		f.PublishMetrics(tr)
 		o.col.MarkDone(label)
+		o.ts.MarkDone(label)
 		writeObsFile(o.traceOut, func(w *os.File) error { return tr.WriteJSONL(w) })
 		writeObsFile(o.perfettoOut, func(w *os.File) error { return tr.WritePerfetto(w) })
 		writeObsFile(o.timelineOut, func(w *os.File) error { return tr.WriteTimelineCSV(w) })
+		writeObsFile(o.telemetryOut, func(w *os.File) error { return o.ts.WriteJSONL(w) })
 		writeObsFile(o.metricsOut, func(w *os.File) error { return tr.WriteMetrics(w) })
 	}
 }

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	ssdfio -model MX500 -pattern uniform -size 4096 -qd 4 -ms 500 [-smart]
-//	       [-trace FILE] [-trace-perfetto FILE] [-timeline FILE] [-metrics FILE] [-http ADDR]
+//	       [-trace FILE] [-trace-perfetto FILE] [-timeline FILE] [-telemetry FILE]
+//	       [-metrics FILE] [-http ADDR]
 //
 // With -fleet N the same workload flags configure a multi-tenant tier
 // instead: N drives of the chosen model behind a placement layer
@@ -25,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
@@ -33,6 +35,7 @@ import (
 	"ssdtp/internal/obs"
 	"ssdtp/internal/sim"
 	"ssdtp/internal/ssd"
+	"ssdtp/internal/telemetry"
 	"ssdtp/internal/workload"
 )
 
@@ -53,6 +56,8 @@ func main() {
 	perfettoFile := flag.String("trace-perfetto", "", "write a Chrome trace-event/Perfetto JSON trace of the run to this file")
 	traceCap := flag.Int("trace-cap", 0, "trace record cap (0 = default 1<<20; negative = unbounded); drops are counted in ssdtp_trace_dropped_spans_total")
 	timelineFile := flag.String("timeline", "", "write a time-windowed telemetry CSV (sampled every -timeline-ms) to this file")
+	telemetryFile := flag.String("telemetry", "", "write a JSONL stream of transparency log pages (sampled every -telemetry-ms) to this file")
+	telemetryMS := flag.Int64("telemetry-ms", 1, "log-page sampling interval in simulated milliseconds")
 	metricsFile := flag.String("metrics", "", "write a Prometheus-style text dump of device metrics to this file")
 	httpAddr := flag.String("http", "", "serve a live ops endpoint (pprof, expvar, /metrics, /progress) on this address, e.g. :6060")
 	fleetN := flag.Int("fleet", 0, "simulate a tier of N drives behind a placement layer instead of a single device")
@@ -73,10 +78,11 @@ func main() {
 	traceOut := cliutil.MustOpen("trace", *traceFile)
 	perfettoOut := cliutil.MustOpen("trace-perfetto", *perfettoFile)
 	timelineOut := cliutil.MustOpen("timeline", *timelineFile)
+	telemetryOut := cliutil.MustOpen("telemetry", *telemetryFile)
 	metricsOut := cliutil.MustOpen("metrics", *metricsFile)
 	var tr *obs.Tracer
 	var col *obs.Collector
-	if traceOut.Enabled() || perfettoOut.Enabled() || timelineOut.Enabled() || metricsOut.Enabled() || *httpAddr != "" {
+	if traceOut.Enabled() || perfettoOut.Enabled() || timelineOut.Enabled() || telemetryOut.Enabled() || metricsOut.Enabled() || *httpAddr != "" {
 		col = obs.NewCollector()
 		if *traceCap != 0 {
 			col.SetRecordCap(*traceCap)
@@ -89,6 +95,12 @@ func main() {
 			col.SetTimeline(sim.Time(itv) * sim.Millisecond)
 		}
 	}
+	// Log-page sampling rides the tracer's aux window, so the telemetry set
+	// exists only when a collector does (the condition above covers both).
+	var ts *telemetry.Set
+	if telemetryOut.Enabled() || *httpAddr != "" {
+		ts = telemetry.NewSet(sim.Time(*telemetryMS) * sim.Millisecond)
+	}
 	if *httpAddr != "" {
 		// In fleet mode /progress carries the tier's COW image residency,
 		// atomically published by runFleet at safe points (never read from
@@ -100,7 +112,9 @@ func main() {
 				}{m}
 			}
 			return nil
-		})
+		}, obs.View{Path: "/telemetry", Write: func(w io.Writer) error {
+			return ts.WriteJSONLDone(w)
+		}})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -145,8 +159,9 @@ func main() {
 			shard:   *shard,
 			pattern: pat, size: *size, qd: *qd, intervalUS: *intervalUS,
 			readFrac: *readFrac, seed: *seed, ms: *ms, prefill: *prefill,
-			col: col, traceOut: traceOut, perfettoOut: perfettoOut,
-			timelineOut: timelineOut, metricsOut: metricsOut, showSMART: *showSMART,
+			col: col, ts: ts, traceOut: traceOut, perfettoOut: perfettoOut,
+			timelineOut: timelineOut, telemetryOut: telemetryOut,
+			metricsOut: metricsOut, showSMART: *showSMART,
 		})
 		return
 	}
@@ -156,6 +171,9 @@ func main() {
 		cfg.Trace = tr
 	}
 	dev := ssd.NewDevice(sim.NewEngine(), cfg)
+	// Stream the transparency log page; the window's engine hook is gated on
+	// the tracer, so the prefill below (suspended) stays out of the stream.
+	dev.AttachTelemetry(ts.Cell(*model))
 
 	if *prefill {
 		// The prefill is priming, not the measured workload; keep it out of
@@ -171,9 +189,11 @@ func main() {
 	flushObs := func() {
 		dev.PublishMetrics(tr)
 		col.MarkDone(*model)
+		ts.MarkDone(*model)
 		writeObsFile(traceOut, func(f *os.File) error { return tr.WriteJSONL(f) })
 		writeObsFile(perfettoOut, func(f *os.File) error { return tr.WritePerfetto(f) })
 		writeObsFile(timelineOut, func(f *os.File) error { return tr.WriteTimelineCSV(f) })
+		writeObsFile(telemetryOut, func(f *os.File) error { return ts.WriteJSONL(f) })
 		writeObsFile(metricsOut, func(f *os.File) error { return tr.WriteMetrics(f) })
 	}
 

@@ -7,6 +7,7 @@ import (
 	"ssdtp/internal/obs"
 	"ssdtp/internal/runner"
 	"ssdtp/internal/sim"
+	"ssdtp/internal/telemetry"
 )
 
 // withPool runs f with the given pool installed, restoring the previous
@@ -36,6 +37,7 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 		}},
 		{"tabS4", func() string { return TabS4DesignSweep(Quick, 42).Table() }},
 		{"fleet", func() string { return FleetTail(Quick, 42).Table() }},
+		{"transparency", func() string { return Transparency(Quick, 42).Table() }},
 	}
 	for _, a := range artifacts {
 		a := a
@@ -139,16 +141,20 @@ func TestShardByteIdenticalAcrossWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full fleet regeneration")
 	}
-	type export struct{ table, trace, metrics, perfetto, timeline string }
+	type export struct{ table, trace, metrics, perfetto, timeline, telemetry string }
 	render := func(workers int) export {
 		col := obs.NewCollector()
 		col.SetTimeline(sim.Millisecond)
 		prev := observer()
 		SetObserver(col)
 		defer SetObserver(prev)
+		ts := telemetry.NewSet(sim.Millisecond)
+		prevTS := telemetrySet()
+		SetTelemetry(ts)
+		defer SetTelemetry(prevTS)
 		var table string
 		withShard(workers, func() { table = FleetTail(Quick, 42).Table() })
-		var tb, mb, pb, lb strings.Builder
+		var tb, mb, pb, lb, xb strings.Builder
 		if err := col.WriteJSONL(&tb); err != nil {
 			t.Fatal(err)
 		}
@@ -161,7 +167,10 @@ func TestShardByteIdenticalAcrossWorkers(t *testing.T) {
 		if err := col.WriteTimelineCSV(&lb); err != nil {
 			t.Fatal(err)
 		}
-		return export{table, tb.String(), mb.String(), pb.String(), lb.String()}
+		if err := ts.WriteJSONL(&xb); err != nil {
+			t.Fatal(err)
+		}
+		return export{table, tb.String(), mb.String(), pb.String(), lb.String(), xb.String()}
 	}
 	serial := render(1)
 	if serial.table == "" || serial.trace == "" || serial.metrics == "" {
@@ -170,10 +179,58 @@ func TestShardByteIdenticalAcrossWorkers(t *testing.T) {
 	if strings.Count(serial.timeline, "\n") < 2 {
 		t.Error("fleet timeline export has no sample rows")
 	}
+	if serial.telemetry == "" {
+		t.Error("fleet telemetry export has no log-page rows")
+	}
 	for _, workers := range []int{2, 8} {
 		if got := render(workers); got != serial {
 			t.Errorf("shard workers=%d: fleet output differs from the serial pump", workers)
 		}
+	}
+}
+
+// The telemetry log-page stream is the transparency interface itself — the
+// contract the PR exists to uphold: sampled on aligned simulated-clock
+// boundaries, its JSONL must be byte-identical at any worker count and with
+// the preconditioning snapshot cache on or off (cold builds and cached
+// restores must anchor the sampling window identically).
+func TestTelemetryByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid regeneration")
+	}
+	render := func(workers int, cache bool) string {
+		col := obs.NewCollector()
+		prev := observer()
+		SetObserver(col)
+		defer SetObserver(prev)
+		ts := telemetry.NewSet(sim.Millisecond)
+		prevTS := telemetrySet()
+		SetTelemetry(ts)
+		defer SetTelemetry(prevTS)
+		SetSnapshotCache(cache)
+		defer SetSnapshotCache(true)
+		withPool(&runner.Pool{Workers: workers}, func() { Fig3TailLatency(Quick, 42) })
+		var b strings.Builder
+		if err := ts.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	serial := render(1, true)
+	if serial == "" {
+		t.Fatal("telemetry-enabled fig3 run streamed no log pages")
+	}
+	if _, err := telemetry.Parse(strings.NewReader(serial)); err != nil {
+		t.Fatalf("exported stream does not re-parse: %v", err)
+	}
+	if again := render(1, true); again != serial {
+		t.Error("two serial same-seed runs streamed different telemetry")
+	}
+	if wide := render(8, true); wide != serial {
+		t.Error("8-worker telemetry stream differs from serial")
+	}
+	if cold := render(1, false); cold != serial {
+		t.Error("snapshot-cache-off telemetry stream differs from cached")
 	}
 }
 

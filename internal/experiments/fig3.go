@@ -121,10 +121,14 @@ func Fig3TailLatency(scale Scale, seed int64) Fig3Result {
 	for _, cfg := range Fig3Configs() {
 		for _, size := range sizes {
 			cfg, size := cfg, size
-			cells = append(cells, runner.TracedCell(observer(),
-				fmt.Sprintf("fig3/%s/%s", cfg.Name, fmtBytes(int64(size))),
+			label := fmt.Sprintf("fig3/%s/%s", cfg.Name, fmtBytes(int64(size)))
+			cells = append(cells, runner.TracedCell(observer(), label,
 				func(tr *obs.Tracer) Fig3Series {
 					dev := fig3Device(cfg.Mutate, seed, tr)
+					if ts := telemetrySet(); ts != nil {
+						dev.AttachTelemetry(ts.Cell(label))
+						defer ts.MarkDone(label)
+					}
 					res := workload.Run(dev, workload.Spec{
 						Name:         cfg.Name,
 						Pattern:      workload.Uniform,

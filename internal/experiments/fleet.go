@@ -114,6 +114,13 @@ type FleetMem struct {
 	Report fleet.MemReport
 }
 
+// FleetTenantTelemetry is one tenant's end-of-run disclosed log page joined
+// with its GC attribution, under one placement policy.
+type FleetTenantTelemetry struct {
+	Policy string
+	Tel    fleet.TenantTelemetry
+}
+
 // FleetResult aggregates both placement policies' tenant reports.
 type FleetResult struct {
 	Drives  int
@@ -123,6 +130,9 @@ type FleetResult struct {
 	// between snapshot-cache on and off, while residency legitimately differs
 	// (cache-off drives are built from scratch and share nothing).
 	Mem []FleetMem
+	// Telemetry joins each tenant's disclosed drive-set log page with its
+	// blast-radius attribution (rendered by TelemetryLines).
+	Telemetry []FleetTenantTelemetry
 }
 
 // Isolated counts the policy's tenants whose tail carries no shared-drive
@@ -172,6 +182,31 @@ func (r FleetResult) MemLines() string {
 	return out
 }
 
+// TelemetryLines renders the per-tenant telemetry/attribution join: the
+// left-hand columns are what a transparent device set would disclose to the
+// tenant (in-window totals over the whole run), the right-hand columns the
+// simulator-only ground truth. WAF is the tenant drive set's
+// pages_programmed / host_pages_programmed including prefill history.
+func (r FleetResult) TelemetryLines() string {
+	if len(r.Telemetry) == 0 {
+		return ""
+	}
+	t := stats.NewTable("policy", "tenant", "drives", "waf", "gc runs",
+		"free min", "refresh debt", "gc tail share", "blast radius")
+	for _, tt := range r.Telemetry {
+		p := tt.Tel.Page
+		waf := 0.0
+		if p.HostPagesProgrammed > 0 {
+			waf = float64(p.PagesProgrammed) / float64(p.HostPagesProgrammed)
+		}
+		t.AddRow(tt.Policy, tt.Tel.Tenant, p.Drives,
+			fmt.Sprintf("%.2f", waf), p.GCRuns, p.FreeBlocksMin, p.RefreshPending,
+			fmt.Sprintf("%.2f%%", float64(tt.Tel.TailGCSharePPM)/10000),
+			fmt.Sprintf("%.2f%%", float64(tt.Tel.BlastPPM)/10000))
+	}
+	return t.String()
+}
+
 // lastFleetMem holds the most recently completed fleet cell's memory
 // accounting, atomically published from the worker that ran the cell so the
 // live /progress endpoint can report tier residency without ever touching
@@ -209,14 +244,15 @@ func FleetTail(scale Scale, seed int64) FleetResult {
 	reqs := scale.pick(1500, 12000)
 
 	type cellOut struct {
-		tenants []FleetTenant
-		mem     FleetMem
+		tenants   []FleetTenant
+		mem       FleetMem
+		telemetry []FleetTenantTelemetry
 	}
 	var cells []runner.Task[cellOut]
 	for _, pl := range fleetPolicies(drives, seed) {
 		pl := pl
-		cells = append(cells, runner.TracedCell(observer(),
-			fmt.Sprintf("fleet/%s/%dd", pl.Name(), drives),
+		label := fmt.Sprintf("fleet/%s/%dd", pl.Name(), drives)
+		cells = append(cells, runner.TracedCell(observer(), label,
 			func(tr *obs.Tracer) cellOut {
 				host := sim.NewEngine()
 				devs := make([]*ssd.Device, drives)
@@ -229,6 +265,10 @@ func FleetTail(scale Scale, seed int64) FleetResult {
 				f := fleet.New(host, devs, fleetStripe)
 				f.SetParallel(shardWorkers())
 				f.BindObs(tr)
+				if ts := telemetrySet(); ts != nil {
+					f.AttachTelemetry(ts.Cell(label))
+					defer ts.MarkDone(label)
+				}
 
 				groups := make([][]int, fleetTenants)
 				for t := range groups {
@@ -257,6 +297,10 @@ func FleetTail(scale Scale, seed int64) FleetResult {
 				for t, v := range vols {
 					out.tenants[t] = FleetTenant{Policy: pl.Name(), Report: v.Report()}
 				}
+				for _, tt := range f.TenantTelemetry() {
+					out.telemetry = append(out.telemetry,
+						FleetTenantTelemetry{Policy: pl.Name(), Tel: tt})
+				}
 				publishFleetMem(out.mem)
 				return out
 			}))
@@ -265,6 +309,7 @@ func FleetTail(scale Scale, seed int64) FleetResult {
 	for _, c := range runner.Map(pool(), cells) {
 		res.Tenants = append(res.Tenants, c.tenants...)
 		res.Mem = append(res.Mem, c.mem)
+		res.Telemetry = append(res.Telemetry, c.telemetry...)
 	}
 	return res
 }

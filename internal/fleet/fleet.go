@@ -731,5 +731,12 @@ func (f *Fleet) PublishMetrics(tr *obs.Tracer) {
 		m.Set(pre+"_p999_ns", int64(r.P999))
 		m.Set(pre+"_tail_gc_share_ppm", r.TailGCSharePPM)
 		m.Set(pre+"_blast_radius_ppm", r.BlastPPM)
+		// The tenant's disclosed log page, summarized: what a transparent
+		// device set would let this tenant observe about its own backing
+		// drives (DESIGN.md §14).
+		p := v.tenantPage()
+		m.Set(pre+"_telemetry_active_gc_units", p.ActiveGCUnits)
+		m.Set(pre+"_telemetry_free_blocks_min", p.FreeBlocksMin)
+		m.Set(pre+"_telemetry_gc_pages_programmed_total", p.GCPagesProgrammed)
 	}
 }

@@ -433,6 +433,60 @@ func (f *FTL) GCRunningPUs() int64 {
 	return n
 }
 
+// FreeBlocksMin returns the scarcest parallel unit's free-block count — the
+// transparency log page's slack gauge: host writes stall behind GC exactly
+// when some PU (not the average) runs out.
+func (f *FTL) FreeBlocksMin() int {
+	best := -1
+	for i := range f.pus {
+		if n := len(f.pus[i].free); best < 0 || n < best {
+			best = n
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+// GCReserveBlocks returns the per-PU free-block low-water mark garbage
+// collection defends (the disclosed GC reserve).
+func (f *FTL) GCReserveBlocks() int { return f.cfg.GCLowWater }
+
+// GCVictimValidPPM returns the mean valid-page fraction (parts per million)
+// of victims currently being collected, 0 when no collection is in flight.
+// High values mean GC is paying a lot of relocation per reclaimed block — the
+// log-page signal that the drive is collecting poor victims under pressure.
+func (f *FTL) GCVictimValidPPM() int64 {
+	blkPages := int64(f.pagesPerBlk)
+	if blkPages == 0 {
+		return 0
+	}
+	var sum, n int64
+	for i := range f.pus {
+		if job := f.pus[i].job; job != nil {
+			sum += int64(job.nPages) * 1_000_000 / blkPages
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// CacheCapBytes returns the write cache's capacity (0 without a data cache).
+func (f *FTL) CacheCapBytes() int64 {
+	if f.cache == nil {
+		return 0
+	}
+	return int64(f.cache.capBytes)
+}
+
+// RefreshPending returns how many blocks are queued for read-disturb refresh
+// but not yet rewritten — the log page's background-work debt gauge.
+func (f *FTL) RefreshPending() int64 { return int64(f.refreshing.Count()) }
+
 // setGCRunning flips a PU's collection flag, keeping the profiler's
 // GC-interference gauge in lock-step so admission stalls are charged to the
 // right cause at the instant collection starts or stops. Every gcRunning

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"expvar"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -15,6 +16,16 @@ import (
 // endpoint never touches in-flight cells — tracers are single-threaded sim
 // state — so it reads only what MarkDone has published.
 
+// View is an extra read-only page served by ServeOps; the write callback
+// renders the current contents. Like /metrics, a view must only expose state
+// already published by completed cells (e.g. a telemetry Set's done cells) —
+// never a running engine's.
+type View struct {
+	Path        string // e.g. "/telemetry"
+	ContentType string // defaults to text/plain
+	Write       func(w io.Writer) error
+}
+
 // ServeOps starts an HTTP server on addr (e.g. ":6060"; ":0" picks a free
 // port) serving:
 //
@@ -23,9 +34,10 @@ import (
 //	/metrics        Prometheus-style text for cells completed so far
 //	/progress       JSON from the progress callback (may be nil)
 //
-// It returns the bound address and a shutdown function. col and progress may
-// be nil; the corresponding views are then empty.
-func ServeOps(addr string, col *Collector, progress func() any) (string, func(), error) {
+// plus any caller-supplied views (CLIs add /telemetry here). It returns the
+// bound address and a shutdown function. col and progress may be nil; the
+// corresponding views are then empty.
+func ServeOps(addr string, col *Collector, progress func() any, views ...View) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
@@ -49,13 +61,26 @@ func ServeOps(addr string, col *Collector, progress func() any) (string, func(),
 		}
 		_ = json.NewEncoder(w).Encode(v)
 	})
+	index := "ssdtp ops endpoint\n\n/debug/pprof/\n/debug/vars\n/metrics\n/progress\n"
+	for _, v := range views {
+		v := v
+		ct := v.ContentType
+		if ct == "" {
+			ct = "text/plain"
+		}
+		mux.HandleFunc(v.Path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", ct)
+			_ = v.Write(w)
+		})
+		index += v.Path + "\n"
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain")
-		_, _ = w.Write([]byte("ssdtp ops endpoint\n\n/debug/pprof/\n/debug/vars\n/metrics\n/progress\n"))
+		_, _ = w.Write([]byte(index))
 	})
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()

@@ -83,6 +83,7 @@ type Tracer struct {
 
 	prof *Profiler // latency attribution (lazily created by Prof)
 	tl   *timeline // time-windowed telemetry (nil unless configured)
+	win  *window   // aux sampling window (nil unless SetWindow configured)
 
 	// Engine observation (installed by BindEngine).
 	eventsFired  int64
@@ -171,6 +172,9 @@ func (t *Tracer) BindEngine(eng *sim.Engine) {
 			}
 			if t.tl != nil && !t.suspended {
 				t.tl.observe(now)
+			}
+			if t.win != nil && !t.suspended {
+				t.win.observe(now)
 			}
 		})
 	}

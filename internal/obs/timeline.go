@@ -114,21 +114,36 @@ func (t *Tracer) SetTimelineSampler(fn func(*TimelineSample)) {
 }
 
 // NextTimelineBoundary returns the simulated time of the next sampling
-// boundary, or ok=false when no timeline is active (none configured, no
-// sampler bound, or sampling suspended). The parallel fleet engine caps its
-// lookahead here: a boundary samples *current* device state at the first
-// event at or past it, so no event beyond the boundary may fire before the
-// row is captured. Before the first observation anchors the boundary grid,
-// it conservatively returns the current anchor state as time 0 with ok=true
-// via (0, true) — callers treat that as "no lookahead until anchored".
+// boundary — the minimum over the timeline and the aux window (SetWindow) —
+// or ok=false when neither is active (none configured, no sampler bound, or
+// sampling suspended). The parallel fleet engine caps its lookahead here: a
+// boundary samples *current* device state at the first event at or past it,
+// so no event beyond the boundary may fire before the row is captured.
+// Before the first observation anchors a boundary grid, that stream
+// conservatively reports time 0 with ok=true — callers treat (0, true) as
+// "no lookahead until anchored".
 func (t *Tracer) NextTimelineBoundary() (sim.Time, bool) {
-	if t == nil || t.tl == nil || t.tl.sample == nil || t.suspended {
-		return 0, false
+	var tb sim.Time
+	tok := false
+	if t != nil && t.tl != nil && t.tl.sample != nil && !t.suspended {
+		tok = true
+		if t.tl.inited {
+			tb = t.tl.nextAt
+		}
 	}
-	if !t.tl.inited {
-		return 0, true
+	wb, wok := t.nextWindowBoundary()
+	switch {
+	case tok && wok:
+		if wb < tb {
+			return wb, true
+		}
+		return tb, true
+	case tok:
+		return tb, true
+	case wok:
+		return wb, true
 	}
-	return t.tl.nextAt, true
+	return 0, false
 }
 
 // TimelineRows returns the number of captured timeline rows.

@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Decoding the JSONL stream. Parsing is a host-side consumer path, not a
+// determinism-critical export path, so it leans on encoding/json via the
+// struct tags on Row/Page; the encoder stays hand-rolled. A round-trip test
+// pins the tag set against pageFields so the two cannot drift.
+
+// maxLineBytes bounds a single telemetry line; a well-formed row is a few
+// hundred bytes, so anything near this is garbage input, not data.
+const maxLineBytes = 1 << 20
+
+// ParseLine decodes one JSONL row. Unknown fields are ignored (forward
+// compatibility: a newer device may disclose more than this reader knows).
+func ParseLine(line []byte) (Row, error) {
+	var r Row
+	dec := json.NewDecoder(bytes.NewReader(line))
+	if err := dec.Decode(&r); err != nil {
+		return Row{}, fmt.Errorf("telemetry: bad row: %w", err)
+	}
+	// Reject trailing garbage after the object (e.g. two objects on a line).
+	if _, err := dec.Token(); err != io.EOF {
+		return Row{}, fmt.Errorf("telemetry: trailing data after row")
+	}
+	return r, nil
+}
+
+// Parse decodes a JSONL stream. Blank lines and #-comments are skipped, any
+// malformed line is an error.
+func Parse(r io.Reader) ([]Row, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	var rows []Row
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		row, err := ParseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln, err)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	return rows, nil
+}
